@@ -1,0 +1,135 @@
+// cmsbench regenerates the paper's evaluation: every figure and table of
+// "The Transmeta Code Morphing Software" (CGO 2003) over the synthetic
+// benchmark suite. See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	cmsbench                 # run everything
+//	cmsbench -exp fig2       # one experiment: fig2, fig3, table1,
+//	                         # selfcheck, selfreval, flow, chain, faults
+//	cmsbench -workload NAME  # workload for flow/chain (default win98_boot)
+//	cmsbench -list           # list the benchmark suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cms/internal/bench"
+	"cms/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults")
+	wl := flag.String("workload", "win98_boot", "workload for the flow/chain experiments")
+	list := flag.Bool("list", false, "list the benchmark suite and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-18s %-5s %s\n", "name", "kind", "stands in for")
+		for _, w := range workload.All() {
+			fmt.Printf("%-18s %-5s %s\n", w.Name, w.Kind, w.Paper)
+		}
+		return
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "cmsbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig2", func() error {
+		r, err := bench.Figure2()
+		if err != nil {
+			return err
+		}
+		bench.WriteFigure(os.Stdout, r)
+		return nil
+	})
+	run("fig3", func() error {
+		r, err := bench.Figure3()
+		if err != nil {
+			return err
+		}
+		bench.WriteFigure(os.Stdout, r)
+		return nil
+	})
+	run("table1", func() error {
+		rows, err := bench.Table1()
+		if err != nil {
+			return err
+		}
+		bench.WriteTable1(os.Stdout, rows)
+		return nil
+	})
+	run("selfcheck", func() error {
+		r, err := bench.SelfCheck()
+		if err != nil {
+			return err
+		}
+		bench.WriteSelfCheck(os.Stdout, r)
+		return nil
+	})
+	run("selfreval", func() error {
+		r, err := bench.SelfReval()
+		if err != nil {
+			return err
+		}
+		bench.WriteSelfReval(os.Stdout, r)
+		return nil
+	})
+	run("flow", func() error {
+		r, err := bench.Flow(*wl)
+		if err != nil {
+			return err
+		}
+		bench.WriteFlow(os.Stdout, r)
+		return nil
+	})
+	run("chain", func() error {
+		r, err := bench.Chain(*wl)
+		if err != nil {
+			return err
+		}
+		bench.WriteChain(os.Stdout, r)
+		return nil
+	})
+	run("ablate", func() error {
+		for _, f := range []func(string) (*bench.AblationResult, error){
+			bench.AblateUnroll, bench.AblateHotThreshold,
+			bench.AblateRegionCap, bench.AblateFaultThreshold,
+		} {
+			r, err := f(*wl)
+			if err != nil {
+				return err
+			}
+			bench.WriteAblation(os.Stdout, r)
+			fmt.Println()
+		}
+		return nil
+	})
+	run("hostgen", func() error {
+		rows, err := bench.HostGenerations()
+		if err != nil {
+			return err
+		}
+		bench.WriteHostGen(os.Stdout, rows)
+		return nil
+	})
+	run("faults", func() error {
+		r, err := bench.Faults()
+		if err != nil {
+			return err
+		}
+		bench.WriteFaults(os.Stdout, r)
+		return nil
+	})
+}

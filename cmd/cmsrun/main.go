@@ -1,0 +1,184 @@
+// cmsrun executes a g86 program (assembly source or raw image) under the
+// Code Morphing engine and reports the run's metrics.
+//
+// Usage:
+//
+//	cmsrun [flags] prog.s
+//	cmsrun [flags] -image prog.bin -org 0x1000 [-entry 0x1000]
+//
+// Every speculation and SMC mechanism can be toggled from the command line,
+// which makes cmsrun a convenient vehicle for poking at the system:
+//
+//	cmsrun -noreorder prog.s         # Figure 2 conditions
+//	cmsrun -noaliashw prog.s         # Figure 3 conditions
+//	cmsrun -nofinegrain prog.s       # Table 1 conditions
+//	cmsrun -interp prog.s            # pure interpretation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cms/internal/asm"
+	"cms/internal/cms"
+	"cms/internal/dev"
+	"cms/internal/guest"
+	"cms/internal/vliw"
+)
+
+func main() {
+	var (
+		imagePath = flag.String("image", "", "raw image file (instead of assembly source)")
+		orgFlag   = flag.String("org", "0x1000", "load origin for -image")
+		entryFlag = flag.String("entry", "", "entry point (default: origin / _start)")
+		diskPath  = flag.String("disk", "", "disk image file")
+		ram       = flag.Int("ram", 1<<21, "guest RAM bytes")
+		budget    = flag.Uint64("budget", 100_000_000, "guest instruction budget")
+
+		interpOnly  = flag.Bool("interp", false, "pure interpretation (no translation)")
+		noReorder   = flag.Bool("noreorder", false, "suppress memory reordering (Figure 2)")
+		noAliasHW   = flag.Bool("noaliashw", false, "disable alias hardware (Figure 3)")
+		noHoist     = flag.Bool("nohoist", false, "no hoisting of faulting ops above branches")
+		selfCheck   = flag.Bool("selfcheck", false, "force self-checking translations (§3.6.3)")
+		noFineGrain = flag.Bool("nofinegrain", false, "disable fine-grain protection (Table 1)")
+		noSelfReval = flag.Bool("noselfreval", false, "disable self-revalidation (§3.6.2)")
+		noStylized  = flag.Bool("nostylized", false, "disable stylized SMC (§3.6.4)")
+		noGroups    = flag.Bool("nogroups", false, "disable translation groups (§3.6.5)")
+		noChain     = flag.Bool("nochain", false, "disable exit chaining")
+		hot         = flag.Uint64("hot", 0, "translation threshold (0 = default)")
+		unroll      = flag.Int("unroll", 0, "region unroll factor (0 = default)")
+
+		showConsole = flag.Bool("console", true, "print guest console output")
+		verbose     = flag.Bool("v", false, "print the full metric breakdown")
+		traceN      = flag.Int("trace", 0, "record and print up to N engine events")
+	)
+	flag.Parse()
+
+	img, disk, entry, err := loadProgram(*imagePath, *orgFlag, *entryFlag, *diskPath, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmsrun:", err)
+		os.Exit(1)
+	}
+
+	cfg := cms.DefaultConfig()
+	cfg.NoTranslate = *interpOnly
+	cfg.BasePolicy.NoReorderMem = *noReorder
+	cfg.BasePolicy.NoAliasHW = *noAliasHW
+	cfg.BasePolicy.NoHoistLoads = *noHoist
+	cfg.BasePolicy.SelfCheck = *selfCheck
+	cfg.BasePolicy.Unroll = *unroll
+	cfg.EnableFineGrain = !*noFineGrain
+	cfg.EnableSelfReval = !*noSelfReval
+	cfg.EnableStylized = !*noStylized
+	cfg.EnableGroups = !*noGroups
+	cfg.EnableChaining = !*noChain
+	if *hot > 0 {
+		cfg.HotThreshold = *hot
+	}
+
+	plat := dev.NewPlatform(uint32(*ram), disk)
+	plat.Bus.WriteRaw(img.org, img.data)
+	e := cms.New(plat, entry, cfg)
+	e.CPU().Regs[guest.ESP] = uint32(*ram) / 2
+	if *traceN > 0 {
+		e.Trace = cms.NewTrace(*traceN)
+	}
+
+	runErr := e.Run(*budget)
+
+	if e.Trace != nil {
+		fmt.Println("--- engine trace ---")
+		e.Trace.Write(os.Stdout)
+		fmt.Println("--------------------")
+	}
+
+	if *showConsole && len(plat.Console.Output()) > 0 {
+		fmt.Printf("--- console ---\n%s\n---------------\n", plat.Console.OutputString())
+	}
+	m := &e.Metrics
+	fmt.Printf("guest instructions: %d (interp %d, translated %d)\n",
+		m.GuestTotal(), m.GuestInterp, m.GuestTexec)
+	fmt.Printf("molecules:          %d (%.2f per instruction)\n", m.TotalMols(), m.MPI())
+	fmt.Printf("translations:       %d (%d guest insns, %d atoms)\n",
+		m.Translations, m.GuestInsnsTranslated, m.CodeAtoms)
+	if *verbose {
+		fmt.Printf("molecule breakdown: texec %d, interp %d, translate %d, prologue %d\n",
+			m.MolsTexec, m.MolsInterp, m.MolsTranslate, m.MolsPrologue)
+		fmt.Printf("dispatch: to-tcache %d, chained %d, lookups %d, returns %d\n",
+			m.DispatchToTexec, m.ChainTransfers, m.LookupTransfers, m.DispatchReturns)
+		for c := vliw.FaultClass(1); c < 8; c++ {
+			if m.Faults[c] > 0 {
+				fmt.Printf("faults[%s]: %d (adaptations %d)\n", c, m.Faults[c], m.Adaptations[c])
+			}
+		}
+		fmt.Printf("smc: prot-faults %d, fine-grain conversions %d, reval arms/passes/fails %d/%d/%d\n",
+			m.ProtFaults, m.FineGrainConversions, m.SelfRevalArms, m.SelfRevalPasses, m.SelfRevalFails)
+		fmt.Printf("smc: stylized %d, group reuses %d, self-check fails %d, dma invalidations %d\n",
+			m.StylizedAdopts, m.GroupReuses, m.SelfCheckFails, m.DMAInvalidations)
+		fmt.Printf("interrupts delivered: %d\n", m.Interrupts)
+	}
+	final := e.CPU()
+	fmt.Printf("final state: eax=%#x ebx=%#x ecx=%#x edx=%#x esi=%#x edi=%#x\n",
+		final.Regs[guest.EAX], final.Regs[guest.EBX], final.Regs[guest.ECX],
+		final.Regs[guest.EDX], final.Regs[guest.ESI], final.Regs[guest.EDI])
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "cmsrun:", runErr)
+		os.Exit(1)
+	}
+}
+
+type image struct {
+	org  uint32
+	data []byte
+}
+
+func loadProgram(imagePath, orgFlag, entryFlag, diskPath string, args []string) (image, []byte, uint32, error) {
+	var disk []byte
+	if diskPath != "" {
+		d, err := os.ReadFile(diskPath)
+		if err != nil {
+			return image{}, nil, 0, err
+		}
+		disk = d
+	}
+	parseNum := func(s string) (uint32, error) {
+		s = strings.TrimPrefix(s, "0x")
+		v, err := strconv.ParseUint(s, 16, 32)
+		if err != nil {
+			v, err = strconv.ParseUint(s, 10, 32)
+		}
+		return uint32(v), err
+	}
+	if imagePath != "" {
+		data, err := os.ReadFile(imagePath)
+		if err != nil {
+			return image{}, nil, 0, err
+		}
+		org, err := parseNum(orgFlag)
+		if err != nil {
+			return image{}, nil, 0, fmt.Errorf("bad -org: %v", err)
+		}
+		entry := org
+		if entryFlag != "" {
+			if entry, err = parseNum(entryFlag); err != nil {
+				return image{}, nil, 0, fmt.Errorf("bad -entry: %v", err)
+			}
+		}
+		return image{org: org, data: data}, disk, entry, nil
+	}
+	if len(args) != 1 {
+		return image{}, nil, 0, fmt.Errorf("need an assembly source file or -image")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return image{}, nil, 0, err
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		return image{}, nil, 0, err
+	}
+	return image{org: prog.Org, data: prog.Image}, disk, prog.Entry(), nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadProgramFromSource(t *testing.T) {
+	src := write(t, "p.s", ".org 0x2000\n_start:\n mov eax, 1\n hlt\n")
+	img, disk, entry, err := loadProgram("", "0x1000", "", "", []string{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.org != 0x2000 || entry != 0x2000 || disk != nil {
+		t.Errorf("org %#x entry %#x", img.org, entry)
+	}
+	if len(img.data) == 0 {
+		t.Error("empty image")
+	}
+}
+
+func TestLoadProgramFromImage(t *testing.T) {
+	bin := write(t, "p.bin", "\x00\x01") // nop, hlt
+	disk := write(t, "d.img", "DISKDATA")
+	img, d, entry, err := loadProgram(bin, "0x4000", "0x4001", disk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.org != 0x4000 || entry != 0x4001 {
+		t.Errorf("org %#x entry %#x", img.org, entry)
+	}
+	if string(d) != "DISKDATA" {
+		t.Errorf("disk %q", d)
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	if _, _, _, err := loadProgram("", "0x1000", "", "", nil); err == nil {
+		t.Error("missing source must fail")
+	}
+	if _, _, _, err := loadProgram("", "0x1000", "", "", []string{"/nonexistent.s"}); err == nil {
+		t.Error("unreadable source must fail")
+	}
+	bad := write(t, "bad.s", "frobnicate eax\n")
+	if _, _, _, err := loadProgram("", "0x1000", "", "", []string{bad}); err == nil {
+		t.Error("bad assembly must fail")
+	}
+	bin := write(t, "p.bin", "\x00")
+	if _, _, _, err := loadProgram(bin, "zzz", "", "", nil); err == nil {
+		t.Error("bad org must fail")
+	}
+	if _, _, _, err := loadProgram(bin, "0x1000", "zzz", "", nil); err == nil {
+		t.Error("bad entry must fail")
+	}
+	if _, _, _, err := loadProgram(bin, "0x1000", "", "/nonexistent.img", nil); err == nil {
+		t.Error("unreadable disk must fail")
+	}
+}

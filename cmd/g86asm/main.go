@@ -1,0 +1,47 @@
+// g86asm assembles g86 assembly text into a raw binary image.
+//
+// Usage:
+//
+//	g86asm [-o out.bin] prog.s
+//
+// The image's load origin comes from the source's .org directive; the entry
+// point is the _start label (or the origin). Both are printed to stderr so
+// scripts can capture them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cms/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "a.bin", "output image path")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: g86asm [-o out.bin] prog.s\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "g86asm:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "g86asm:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, prog.Image, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "g86asm:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "g86asm: %s: %d bytes, org %#x, entry %#x\n",
+		*out, len(prog.Image), prog.Org, prog.Entry())
+}

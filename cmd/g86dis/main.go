@@ -1,0 +1,50 @@
+// g86dis disassembles a raw g86 binary image.
+//
+// Usage:
+//
+//	g86dis [-org 0x1000] prog.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cms/internal/guest"
+)
+
+func main() {
+	orgFlag := flag.String("org", "0x1000", "load origin")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: g86dis [-org 0x1000] prog.bin")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "g86dis:", err)
+		os.Exit(1)
+	}
+	orgStr := strings.TrimPrefix(*orgFlag, "0x")
+	org64, err := strconv.ParseUint(orgStr, 16, 32)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "g86dis: bad -org:", err)
+		os.Exit(1)
+	}
+	org := uint32(org64)
+
+	for off := uint32(0); off < uint32(len(data)); {
+		in, err := guest.Decode(data[off:], org+off)
+		if err != nil {
+			// Not decodable: print as data and resync one byte at a time.
+			fmt.Printf("%08x:  .db 0x%02x\n", org+off, data[off])
+			off++
+			continue
+		}
+		raw := data[off : off+in.Len]
+		fmt.Printf("%08x:  %-24x %s\n", in.Addr, raw, in)
+		off += in.Len
+	}
+}

@@ -1,0 +1,138 @@
+// Package cms is the public face of this reproduction of the Transmeta Code
+// Morphing Software (Dehnert et al., CGO 2003): a co-designed virtual
+// machine consisting of a g86 guest ISA (an x86-like CISC), a Crusoe-like
+// VLIW host with hardware commit/rollback, alias, and fine-grain protection
+// support, and the Code Morphing engine — interpreter, dynamic binary
+// translator, optimizer, and runtime — that binds them.
+//
+// Quick start:
+//
+//	prog, _ := cms.Assemble(`
+//	.org 0x1000
+//		mov ecx, 100
+//	loop:
+//		add eax, ecx
+//		dec ecx
+//		jne loop
+//		hlt
+//	`)
+//	sys := cms.NewSystem(prog, cms.SystemConfig{})
+//	if err := sys.Run(1_000_000); err != nil { ... }
+//	fmt.Println(sys.CPU().Regs[cms.EAX], sys.Metrics.MPI())
+//
+// The deeper layers are importable for tooling and experiments:
+// internal/guest (ISA), internal/vliw (host machine), internal/xlate
+// (translator), internal/cms (engine), internal/workload (benchmark suite),
+// internal/bench (the paper's evaluation harness).
+package cms
+
+import (
+	"cms/internal/asm"
+	engine "cms/internal/cms"
+	"cms/internal/dev"
+	"cms/internal/guest"
+	"cms/internal/workload"
+	"cms/internal/xlate"
+)
+
+// Re-exported core types. The aliases make the engine's full configuration
+// and metrics surface part of the public API.
+type (
+	// Config is the engine configuration; see DefaultConfig.
+	Config = engine.Config
+	// Engine is the Code Morphing engine bound to one platform.
+	Engine = engine.Engine
+	// Metrics is the engine's dynamic statistics (molecules, faults, SMC
+	// machinery events, control-flow transitions).
+	Metrics = engine.Metrics
+	// Policy is a translation speculation policy.
+	Policy = xlate.Policy
+	// Platform is the simulated PC: bus, devices, interrupt controller.
+	Platform = dev.Platform
+	// Program is an assembled g86 program.
+	Program = asm.Program
+	// Workload is a benchmark from the paper's suite analogs.
+	Workload = workload.Workload
+)
+
+// Guest register names for reading CPU state.
+const (
+	EAX = guest.EAX
+	ECX = guest.ECX
+	EDX = guest.EDX
+	EBX = guest.EBX
+	ESP = guest.ESP
+	EBP = guest.EBP
+	ESI = guest.ESI
+	EDI = guest.EDI
+)
+
+// DefaultConfig returns the standard engine configuration (every mechanism
+// of the paper enabled).
+func DefaultConfig() Config { return engine.DefaultConfig() }
+
+// Assemble assembles g86 assembly text.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// SystemConfig shapes NewSystem.
+type SystemConfig struct {
+	// RAM is the guest memory size (default 2 MiB).
+	RAM uint32
+	// Disk is the disk image (optional).
+	Disk []byte
+	// Engine is the engine configuration (default DefaultConfig).
+	Engine *Config
+	// StackTop initializes ESP (default RAM/2).
+	StackTop uint32
+}
+
+// System is a loaded machine: platform plus engine.
+type System struct {
+	*Engine
+}
+
+// NewSystem builds a platform, loads the program, and returns a ready
+// system.
+func NewSystem(prog *Program, sc SystemConfig) *System {
+	if sc.RAM == 0 {
+		sc.RAM = 1 << 21
+	}
+	cfg := engine.DefaultConfig()
+	if sc.Engine != nil {
+		cfg = *sc.Engine
+	}
+	plat := dev.NewPlatform(sc.RAM, sc.Disk)
+	plat.Bus.WriteRaw(prog.Org, prog.Image)
+	e := engine.New(plat, prog.Entry(), cfg)
+	if sc.StackTop == 0 {
+		sc.StackTop = sc.RAM / 2
+	}
+	e.CPU().Regs[guest.ESP] = sc.StackTop
+	return &System{Engine: e}
+}
+
+// Console returns the guest's serial console output so far.
+func (s *System) Console() string { return s.Plat.Console.OutputString() }
+
+// QuakeFrameVar is the RAM address where the Quake analog counts rendered
+// frames (see the §3.6.2 experiment).
+const QuakeFrameVar = workload.QuakeFrameVar
+
+// Workloads returns the paper's benchmark suite analogs.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadByName finds a suite benchmark.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// RunWorkload builds and runs a suite benchmark under cfg, returning the
+// engine for inspection.
+func RunWorkload(w Workload, cfg Config) (*System, error) {
+	img := w.Build()
+	plat := dev.NewPlatform(img.RAM, img.Disk)
+	plat.Bus.WriteRaw(img.Org, img.Data)
+	e := engine.New(plat, img.Entry, cfg)
+	if err := e.Run(img.Budget); err != nil {
+		return nil, err
+	}
+	return &System{Engine: e}, nil
+}

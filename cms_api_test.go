@@ -1,0 +1,73 @@
+package cms_test
+
+import (
+	"strings"
+	"testing"
+
+	"cms"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	prog, err := cms.Assemble(`
+.org 0x1000
+	mov ecx, 200
+loop:
+	add eax, ecx
+	dec ecx
+	jne loop
+	mov eax, 'k'
+	out 0x3f8, eax
+	hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := cms.NewSystem(prog, cms.SystemConfig{})
+	if err := sys.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Console() != "k" {
+		t.Errorf("console = %q", sys.Console())
+	}
+	if sys.Metrics.Translations == 0 {
+		t.Error("nothing translated")
+	}
+	if sys.CPU().Regs[cms.EAX] != 'k' {
+		t.Errorf("eax = %#x", sys.CPU().Regs[cms.EAX])
+	}
+}
+
+func TestPublicAPIBadProgram(t *testing.T) {
+	if _, err := cms.Assemble("frob eax\n"); err == nil {
+		t.Error("Assemble must reject bad source")
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	ws := cms.Workloads()
+	if len(ws) < 20 {
+		t.Fatalf("suite has %d workloads", len(ws))
+	}
+	w, err := cms.WorkloadByName("dos_boot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cms.RunWorkload(w, cms.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sys.Console(), "DOS") {
+		t.Errorf("console = %q", sys.Console())
+	}
+}
+
+func TestPublicAPIConfigKnobs(t *testing.T) {
+	cfg := cms.DefaultConfig()
+	cfg.BasePolicy.NoReorderMem = true
+	cfg.EnableFineGrain = false
+	prog, _ := cms.Assemble(".org 0x1000\n mov ecx, 5000\nloop:\n dec ecx\n jne loop\n hlt\n")
+	sys := cms.NewSystem(prog, cms.SystemConfig{Engine: &cfg, RAM: 1 << 20})
+	if err := sys.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+// osboot runs an operating-system boot analog — the paper's hardest workload
+// class: port and memory-mapped I/O, DMA that lands on translated code
+// pages, timer interrupts, mixed code-and-data pages, and self-modifying
+// driver code — and shows how the Code Morphing engine coped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cms"
+)
+
+func main() {
+	name := flag.String("os", "win98_boot", "which boot analog (see cmsbench -list)")
+	flag.Parse()
+
+	w, err := cms.WorkloadByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("booting %s (stands in for: %s)\n\n", w.Name, w.Paper)
+
+	sys, err := cms.RunWorkload(w, cms.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("console output: %q\n\n", sys.Console())
+	m := sys.Metrics
+	fmt.Printf("guest instructions:     %d\n", m.GuestTotal())
+	fmt.Printf("molecules/instruction:  %.2f\n", m.MPI())
+	fmt.Printf("translations:           %d\n", m.Translations)
+	fmt.Printf("interrupts delivered:   %d\n", m.Interrupts)
+	fmt.Printf("DMA invalidations:      %d\n", m.DMAInvalidations)
+	fmt.Printf("protection faults:      %d (fine-grain conversions %d)\n",
+		m.ProtFaults, m.FineGrainConversions)
+	fmt.Printf("self-reval arms/passes: %d/%d\n", m.SelfRevalArms, m.SelfRevalPasses)
+	fmt.Printf("stylized SMC adoptions: %d\n", m.StylizedAdopts)
+	fmt.Printf("chained exits:          %d (vs %d dispatcher returns)\n",
+		m.ChainTransfers, m.DispatchReturns)
+}

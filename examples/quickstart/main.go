@@ -1,0 +1,63 @@
+// Quickstart: assemble a small g86 program, run it under the Code Morphing
+// engine, and look at what happened — how much ran interpreted versus
+// translated, and at what molecule cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cms"
+)
+
+func main() {
+	prog, err := cms.Assemble(`
+.org 0x1000
+	mov ecx, 5000          ; enough iterations to get hot and translate
+	mov eax, 0
+loop:
+	add eax, ecx
+	mov [0x8000], eax      ; running sum lives in memory
+	mov ebx, [0x8000]
+	dec ecx
+	jne loop
+
+	; say goodbye through the serial console
+	mov eax, 'd'
+	out 0x3f8, eax
+	mov eax, 'o'
+	out 0x3f8, eax
+	mov eax, 'n'
+	out 0x3f8, eax
+	mov eax, 'e'
+	out 0x3f8, eax
+	hlt
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys := cms.NewSystem(prog, cms.SystemConfig{})
+	if err := sys.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	m := sys.Metrics
+	fmt.Printf("console said:        %q\n", sys.Console())
+	fmt.Printf("sum in eax:          %d\n", sys.CPU().Regs[cms.EAX])
+	fmt.Printf("guest instructions:  %d (%d interpreted, %d in translations)\n",
+		m.GuestTotal(), m.GuestInterp, m.GuestTexec)
+	fmt.Printf("host molecules:      %d  (%.2f per guest instruction)\n",
+		m.TotalMols(), m.MPI())
+	fmt.Printf("translations made:   %d\n", m.Translations)
+
+	// The same program, interpretation only, for contrast.
+	ref := cms.NewSystem(prog, cms.SystemConfig{Engine: &cms.Config{NoTranslate: true}})
+	if err := ref.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninterpreter-only:    %d molecules (%.2f per instruction)\n",
+		ref.Metrics.TotalMols(), ref.Metrics.MPI())
+	fmt.Printf("speedup from translation: %.1fx\n",
+		float64(ref.Metrics.TotalMols())/float64(m.TotalMols()))
+}

@@ -1,0 +1,3 @@
+module cms
+
+go 1.22

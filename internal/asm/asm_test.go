@@ -1,0 +1,282 @@
+package asm
+
+import (
+	"testing"
+
+	"cms/internal/guest"
+)
+
+// disasm decodes the whole image for assertions.
+func disasm(t *testing.T, img []byte, org uint32) []guest.Insn {
+	t.Helper()
+	var out []guest.Insn
+	for off := uint32(0); off < uint32(len(img)); {
+		in, err := guest.Decode(img[off:], org+off)
+		if err != nil {
+			t.Fatalf("decode at +%#x: %v", off, err)
+		}
+		out = append(out, in)
+		off += in.Len
+	}
+	return out
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.MovRI(guest.EAX, 5).
+		Label("loop").
+		Dec(guest.EAX).
+		Jcc(guest.CondNE, "loop").
+		Hlt()
+	img, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := disasm(t, img, 0x1000)
+	if len(ins) != 4 {
+		t.Fatalf("got %d instructions", len(ins))
+	}
+	if ins[2].Op != guest.OpJccBase+guest.Op(guest.CondNE) {
+		t.Fatalf("insn 2 = %v", ins[2])
+	}
+	if got := ins[2].BranchTarget(); got != b.LabelAddr("loop") {
+		t.Errorf("branch target %#x, want %#x", got, b.LabelAddr("loop"))
+	}
+}
+
+func TestBuilderForwardReference(t *testing.T) {
+	b := NewBuilder(0)
+	b.Jmp("end").Nop().Nop().Label("end").Hlt()
+	img, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := disasm(t, img, 0)
+	if ins[0].BranchTarget() != b.LabelAddr("end") {
+		t.Errorf("forward jmp target %#x", ins[0].BranchTarget())
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder(0)
+	b.Jmp("nowhere")
+	if _, err := b.Assemble(); err == nil {
+		t.Error("undefined label must fail")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder(0)
+	b.Label("x").Label("x")
+	if _, err := b.Assemble(); err == nil {
+		t.Error("duplicate label must fail")
+	}
+}
+
+func TestBuilderDataAndAlign(t *testing.T) {
+	b := NewBuilder(0x100)
+	b.Bytes(1, 2, 3).Align(8).Label("data").D32(0xAABBCCDD).D32Label("data")
+	img, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// org 0x100 + 3 bytes, aligned to 0x108, then 8 bytes of data.
+	if len(img) != 16 {
+		t.Fatalf("image len %d", len(img))
+	}
+	if img[8] != 0xDD || img[11] != 0xAA {
+		t.Error("D32 little-endian broken")
+	}
+	addr := uint32(img[12]) | uint32(img[13])<<8 | uint32(img[14])<<16 | uint32(img[15])<<24
+	if addr != 0x108 {
+		t.Errorf("D32Label = %#x, want 0x108", addr)
+	}
+}
+
+func TestBuilderMovRILabel(t *testing.T) {
+	b := NewBuilder(0x2000)
+	b.MovRILabel(guest.EBX, "table").Hlt().Label("table").D32(7)
+	img := b.MustAssemble()
+	ins := disasm(t, img[:7], 0x2000)
+	if ins[0].Imm != b.LabelAddr("table") {
+		t.Errorf("imm = %#x, want %#x", ins[0].Imm, b.LabelAddr("table"))
+	}
+}
+
+func TestMemHelpers(t *testing.T) {
+	m := MemIdx(guest.EBX, guest.ESI, 4, 0x10)
+	if !m.HasBase || !m.HasIndex || m.ScaleLog != 2 || m.Disp != 0x10 {
+		t.Errorf("MemIdx = %+v", m)
+	}
+	if Abs(0x40).HasBase {
+		t.Error("Abs must have no base")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad scale must panic")
+		}
+	}()
+	MemIdx(guest.EAX, guest.EBX, 3, 0)
+}
+
+func TestTextAssemblerRoundTrip(t *testing.T) {
+	src := `
+; a small program
+.org 0x1000
+_start:
+	mov eax, 10
+	mov ebx, 0
+loop:
+	add ebx, eax
+	dec eax
+	jne loop
+	mov [result], ebx
+	hlt
+result:
+	.dd 0
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Org != 0x1000 || p.Entry() != 0x1000 {
+		t.Errorf("org %#x entry %#x", p.Org, p.Entry())
+	}
+	ins := disasm(t, p.Image[:len(p.Image)-4], 0x1000)
+	wantOps := []guest.Op{guest.OpMOVri, guest.OpMOVri, guest.OpADDrr, guest.OpDEC,
+		guest.OpJccBase + guest.Op(guest.CondNE), guest.OpMOVmi, guest.OpHLT}
+	// mov [result], ebx assembles as MOVmr... the source writes a register,
+	// so the opcode is OpMOVmr, not MOVmi.
+	wantOps[5] = guest.OpMOVmr
+	if len(ins) != len(wantOps) {
+		t.Fatalf("%d instructions, want %d", len(ins), len(wantOps))
+	}
+	for i, w := range wantOps {
+		if ins[i].Op != w {
+			t.Errorf("insn %d: %v, want op %#x", i, ins[i], uint8(w))
+		}
+	}
+	// The store's absolute displacement must be the label address.
+	if ins[5].Mem.Disp != p.Labels["result"] {
+		t.Errorf("store disp %#x, want %#x", ins[5].Mem.Disp, p.Labels["result"])
+	}
+}
+
+func TestTextAssemblerAddressingForms(t *testing.T) {
+	src := `
+	mov eax, [ebx+esi*4+0x10]
+	movb [eax+1], ecx
+	lea edi, [ebp+ecx*2]
+	shl eax, 3
+	shl eax, cl
+	in eax, 0x3f8
+	out 0x40, ebx
+	int 0x21
+	jmp eax
+	jmp [ebx+4]
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := disasm(t, p.Image, 0)
+	if ins[0].Mem.ScaleLog != 2 || ins[0].Mem.Disp != 0x10 || ins[0].Mem.Index != guest.ESI {
+		t.Errorf("sib parse: %+v", ins[0].Mem)
+	}
+	if ins[1].Op != guest.OpMOVBmr || ins[1].Src != guest.ECX {
+		t.Errorf("movb: %v", ins[1])
+	}
+	if ins[3].Op != guest.OpSHLri || ins[3].Imm != 3 {
+		t.Errorf("shl imm: %v", ins[3])
+	}
+	if ins[4].Op != guest.OpSHLrc {
+		t.Errorf("shl cl: %v", ins[4])
+	}
+	if ins[5].Op != guest.OpIN || ins[5].Imm != 0x3F8 {
+		t.Errorf("in: %v", ins[5])
+	}
+	if ins[6].Op != guest.OpOUT || ins[6].Imm != 0x40 || ins[6].Src != guest.EBX {
+		t.Errorf("out: %v", ins[6])
+	}
+	if ins[8].Op != guest.OpJMPr {
+		t.Errorf("jmp reg: %v", ins[8])
+	}
+	if ins[9].Op != guest.OpJMPm || ins[9].Mem.Disp != 4 {
+		t.Errorf("jmp mem: %v", ins[9])
+	}
+}
+
+func TestTextAssemblerMemImmediateStore(t *testing.T) {
+	p, err := Assemble("mov [0x5000], 0x42\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := disasm(t, p.Image, 0)
+	if ins[0].Op != guest.OpMOVmi || ins[0].Mem.Disp != 0x5000 || ins[0].Imm != 0x42 {
+		t.Errorf("mov mi: %v", ins[0])
+	}
+}
+
+func TestTextAssemblerLabelImmediates(t *testing.T) {
+	src := `
+	mov eax, table
+	push handler
+	hlt
+table:
+	.dd 1, 2, 3
+handler:
+	iret
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := disasm(t, p.Image[:13], 0)
+	if ins[0].Imm != p.Labels["table"] {
+		t.Errorf("mov label imm = %#x want %#x", ins[0].Imm, p.Labels["table"])
+	}
+	if ins[1].Imm != p.Labels["handler"] {
+		t.Errorf("push label imm = %#x want %#x", ins[1].Imm, p.Labels["handler"])
+	}
+}
+
+func TestTextAssemblerErrors(t *testing.T) {
+	bad := []string{
+		"mov eax",                    // missing operand
+		"frob eax, ebx",              // unknown mnemonic
+		"mov [eax, ebx",              // unterminated mem
+		"jmp 123",                    // numeric branch target unsupported
+		"mov eax, [ecx*3]",           // bad scale
+		".org 0x10\nnop\n.org 0",     // late .org
+		"in eax, 0x10000",            // port too large
+		"shl eax, ebx",               // shift count must be imm or cl
+		"9lab: nop",                  // bad label
+		"mov eax, [eax+ebx+ecx+edx]", // too many regs
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestTextAssemblerCommentsAndMultiLabels(t *testing.T) {
+	src := "a: b: nop ; tail comment\n# full comment\nc:\n\tjmp a\n"
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["a"] != 0 || p.Labels["b"] != 0 || p.Labels["c"] != 1 {
+		t.Errorf("labels: %v", p.Labels)
+	}
+}
+
+func TestEntryDefaultsToOrigin(t *testing.T) {
+	p, err := Assemble(".org 0x400\nnop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry() != 0x400 {
+		t.Errorf("Entry = %#x", p.Entry())
+	}
+}

@@ -1,0 +1,712 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cms/internal/guest"
+)
+
+// Program is the result of assembling a text program.
+type Program struct {
+	Org   uint32
+	Image []byte
+	// Labels maps each defined label to its address.
+	Labels map[string]uint32
+}
+
+// Entry returns the program's entry point: the "_start" label if defined,
+// else the origin.
+func (p *Program) Entry() uint32 {
+	if a, ok := p.Labels["_start"]; ok {
+		return a
+	}
+	return p.Org
+}
+
+// operand is one parsed operand.
+type operand struct {
+	kind  okind
+	reg   guest.Reg
+	imm   uint32
+	label string
+	mem   guest.MemOperand
+	// memLabel, when non-empty, is a label whose address is added to the
+	// memory operand's displacement at fixup time (e.g. "[table+esi*4]").
+	memLabel string
+	isCL     bool // the operand was literally "cl" (for shift-by-CL forms)
+}
+
+type okind uint8
+
+const (
+	oReg okind = iota
+	oImm
+	oLabel
+	oMem
+)
+
+// Assemble assembles g86 text. Supported syntax:
+//
+//	; comment            # comment
+//	.org 0x1000          load origin (must precede any emission)
+//	.db 1, 2, 0x33       data bytes
+//	.dd 0x1234, label    32-bit words (labels become absolute addresses)
+//	.space 64            zero fill
+//	.align 16            pad to alignment
+//	label:               define label
+//	mov eax, [ebx+esi*4+8]
+//	jne loop             conditional branches take label targets
+//
+// Instruction selection follows operand shapes; see the g86 opcode table.
+func Assemble(src string) (*Program, error) {
+	org := uint32(0)
+	var b *Builder
+	ensure := func() *Builder {
+		if b == nil {
+			b = NewBuilder(org)
+		}
+		return b
+	}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("line %d: bad label %q", ln+1, name)
+			}
+			ensure().Label(name)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := assembleLine(ensure, &org, b != nil, line, ln+1); err != nil {
+			return nil, err
+		}
+		_ = org
+	}
+	if b == nil {
+		b = NewBuilder(org)
+	}
+	img, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Org: b.Origin(), Image: img, Labels: b.labels}, nil
+}
+
+func assembleLine(ensure func() *Builder, org *uint32, started bool, line string, ln int) error {
+	fields := strings.SplitN(line, " ", 2)
+	mn := strings.ToLower(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+
+	if strings.HasPrefix(mn, ".") {
+		return assembleDirective(ensure, org, started, mn, rest, ln)
+	}
+
+	ops, err := parseOperands(rest, ln)
+	if err != nil {
+		return err
+	}
+	return emitInsn(ensure(), mn, ops, ln)
+}
+
+func assembleDirective(ensure func() *Builder, org *uint32, started bool, mn, rest string, ln int) error {
+	b := func() *Builder { return ensure() }
+	switch mn {
+	case ".org":
+		v, err := parseNum(rest)
+		if err != nil {
+			return fmt.Errorf("line %d: .org: %v", ln, err)
+		}
+		if started {
+			return fmt.Errorf("line %d: .org must precede all code", ln)
+		}
+		*org = uint32(v)
+		return nil
+	case ".db":
+		for _, s := range splitOps(rest) {
+			v, err := parseNum(s)
+			if err != nil {
+				return fmt.Errorf("line %d: .db: %v", ln, err)
+			}
+			b().Bytes(byte(v))
+		}
+		return nil
+	case ".dd":
+		for _, s := range splitOps(rest) {
+			if isIdent(s) {
+				b().D32Label(s)
+			} else {
+				v, err := parseNum(s)
+				if err != nil {
+					return fmt.Errorf("line %d: .dd: %v", ln, err)
+				}
+				b().D32(uint32(v))
+			}
+		}
+		return nil
+	case ".space":
+		v, err := parseNum(rest)
+		if err != nil || v < 0 {
+			return fmt.Errorf("line %d: .space needs a size", ln)
+		}
+		b().Space(int(v))
+		return nil
+	case ".align":
+		v, err := parseNum(rest)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("line %d: .align needs a power", ln)
+		}
+		b().Align(uint32(v))
+		return nil
+	}
+	return fmt.Errorf("line %d: unknown directive %s", ln, mn)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	_, isReg := guest.RegByName(s)
+	return !isReg && s != "cl"
+}
+
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 32)
+	} else if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		v = uint64(s[1])
+	} else {
+		v, err = strconv.ParseUint(s, 10, 32)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func splitOps(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func parseOperands(s string, ln int) ([]operand, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var ops []operand
+	for _, tok := range splitOps(s) {
+		op, err := parseOperand(tok)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln, err)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+func parseOperand(tok string) (operand, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" {
+		return operand{}, fmt.Errorf("empty operand")
+	}
+	if strings.ToLower(tok) == "cl" {
+		return operand{kind: oReg, reg: guest.ECX, isCL: true}, nil
+	}
+	if r, ok := guest.RegByName(strings.ToLower(tok)); ok {
+		return operand{kind: oReg, reg: r}, nil
+	}
+	if tok[0] == '[' {
+		if tok[len(tok)-1] != ']' {
+			return operand{}, fmt.Errorf("unterminated memory operand %q", tok)
+		}
+		m, lbl, err := parseMem(tok[1 : len(tok)-1])
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{kind: oMem, mem: m, memLabel: lbl}, nil
+	}
+	if isIdent(tok) {
+		return operand{kind: oLabel, label: tok}, nil
+	}
+	v, err := parseNum(tok)
+	if err != nil {
+		return operand{}, err
+	}
+	return operand{kind: oImm, imm: uint32(v)}, nil
+}
+
+func parseMem(s string) (guest.MemOperand, string, error) {
+	var m guest.MemOperand
+	label := ""
+	for _, term := range strings.Split(s, "+") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return m, "", fmt.Errorf("empty term in memory operand")
+		}
+		if isIdent(term) {
+			if label != "" {
+				return m, "", fmt.Errorf("two labels in memory operand")
+			}
+			label = term
+			continue
+		}
+		if i := strings.Index(term, "*"); i >= 0 {
+			r, ok := guest.RegByName(strings.ToLower(strings.TrimSpace(term[:i])))
+			if !ok {
+				return m, "", fmt.Errorf("bad index register in %q", term)
+			}
+			sc, err := parseNum(term[i+1:])
+			if err != nil {
+				return m, "", err
+			}
+			var lg uint8
+			switch sc {
+			case 1:
+				lg = 0
+			case 2:
+				lg = 1
+			case 4:
+				lg = 2
+			case 8:
+				lg = 3
+			default:
+				return m, "", fmt.Errorf("scale must be 1/2/4/8, got %d", sc)
+			}
+			if m.HasIndex {
+				return m, "", fmt.Errorf("two index registers")
+			}
+			m.HasIndex, m.Index, m.ScaleLog = true, r, lg
+			continue
+		}
+		if r, ok := guest.RegByName(strings.ToLower(term)); ok {
+			if !m.HasBase {
+				m.HasBase, m.Base = true, r
+			} else if !m.HasIndex {
+				m.HasIndex, m.Index = true, r
+			} else {
+				return m, "", fmt.Errorf("too many registers in memory operand")
+			}
+			continue
+		}
+		v, err := parseNum(term)
+		if err != nil {
+			return m, "", err
+		}
+		m.Disp += uint32(v)
+	}
+	return m, label, nil
+}
+
+// emitImmOrLabel emits in; if lbl is non-empty the instruction's imm32 field
+// is fixed up to the label's absolute address.
+func emitImmOrLabel(b *Builder, in guest.Insn, lbl string, ln int) error {
+	b.Emit(in)
+	if lbl == "" {
+		return nil
+	}
+	// Locate the imm32 field of the instruction just emitted.
+	n := guest.EncodedLen(in.Op)
+	dec, err := guest.Decode(b.buf[uint32(len(b.buf))-n:], 0)
+	if err != nil || !dec.HasImm32() {
+		return fmt.Errorf("line %d: operand cannot take a label", ln)
+	}
+	b.fixups = append(b.fixups, fixup{
+		off:   uint32(len(b.buf)) - n + dec.ImmOff,
+		label: lbl,
+		srcLn: ln,
+	})
+	return nil
+}
+
+// memDispOff returns the byte offset of the 32-bit displacement field of the
+// memory operand within an encoded instruction of the given format, or ok =
+// false if the format has no memory operand.
+func memDispOff(f guest.Fmt) (uint32, bool) {
+	switch f {
+	case guest.FmtRM:
+		return 4, true // opcode, reg, mem flags, mem regs, disp
+	case guest.FmtMR, guest.FmtMI, guest.FmtM:
+		return 3, true // opcode, mem flags, mem regs, disp
+	}
+	return 0, false
+}
+
+// emitInsn assembles one instruction and applies any label fixup carried by
+// a memory operand's displacement.
+func emitInsn(b *Builder, mn string, ops []operand, ln int) error {
+	if err := emitInsnInner(b, mn, ops, ln); err != nil {
+		return err
+	}
+	for _, o := range ops {
+		if o.kind != oMem || o.memLabel == "" {
+			continue
+		}
+		off, ok := memDispOff(b.lastOp.Format())
+		if !ok {
+			return fmt.Errorf("line %d: internal: mem label on non-mem instruction", ln)
+		}
+		b.fixups = append(b.fixups, fixup{
+			off:   uint32(len(b.buf)) - b.lastLen + off,
+			label: o.memLabel,
+			srcLn: ln,
+		})
+		// The label address is *added* to any numeric displacement already
+		// encoded; record the addend by pre-storing it (fixup overwrites, so
+		// fold it into the resolved value instead).
+		if o.mem.Disp != 0 {
+			b.fixups[len(b.fixups)-1].addend = o.mem.Disp
+		}
+	}
+	return nil
+}
+
+func emitInsnInner(b *Builder, mn string, ops []operand, ln int) error {
+	bad := func() error {
+		return fmt.Errorf("line %d: bad operands for %s", ln, mn)
+	}
+	shape := ""
+	for _, o := range ops {
+		switch o.kind {
+		case oReg:
+			shape += "r"
+		case oImm:
+			shape += "i"
+		case oLabel:
+			shape += "l"
+		case oMem:
+			shape += "m"
+		}
+	}
+	switch mn {
+	case "nop", "hlt", "cli", "sti", "ret", "iret", "pushf", "popf", "cdq":
+		if shape != "" {
+			return bad()
+		}
+		var op guest.Op
+		switch mn {
+		case "nop":
+			op = guest.OpNOP
+		case "hlt":
+			op = guest.OpHLT
+		case "cli":
+			op = guest.OpCLI
+		case "sti":
+			op = guest.OpSTI
+		case "ret":
+			op = guest.OpRET
+		case "iret":
+			op = guest.OpIRET
+		case "pushf":
+			op = guest.OpPUSHF
+		case "popf":
+			op = guest.OpPOPF
+		case "cdq":
+			op = guest.OpCDQ
+		}
+		b.Emit(guest.Insn{Op: op})
+		return nil
+
+	case "mov", "movb":
+		byteForm := mn == "movb"
+		switch shape {
+		case "rr":
+			if byteForm {
+				return bad()
+			}
+			b.MovRR(ops[0].reg, ops[1].reg)
+		case "ri", "rl":
+			if byteForm {
+				return bad()
+			}
+			return emitImmOrLabel(b, guest.Insn{Op: guest.OpMOVri, Dst: ops[0].reg, Imm: ops[1].imm}, ops[1].label, ln)
+		case "rm":
+			if byteForm {
+				b.MovBRM(ops[0].reg, ops[1].mem)
+			} else {
+				b.MovRM(ops[0].reg, ops[1].mem)
+			}
+		case "mr":
+			if byteForm {
+				b.MovBMR(ops[0].mem, ops[1].reg)
+			} else {
+				b.MovMR(ops[0].mem, ops[1].reg)
+			}
+		case "mi", "ml":
+			if byteForm {
+				return bad()
+			}
+			return emitImmOrLabel(b, guest.Insn{Op: guest.OpMOVmi, Mem: ops[0].mem, Imm: ops[1].imm}, ops[1].label, ln)
+		default:
+			return bad()
+		}
+		return nil
+
+	case "lea":
+		if shape != "rm" {
+			return bad()
+		}
+		b.Lea(ops[0].reg, ops[1].mem)
+		return nil
+
+	case "adc", "sbb":
+		rr, ri := guest.OpADCrr, guest.OpADCri
+		if mn == "sbb" {
+			rr, ri = guest.OpSBBrr, guest.OpSBBri
+		}
+		switch shape {
+		case "rr":
+			b.Emit(guest.Insn{Op: rr, Dst: ops[0].reg, Src: ops[1].reg})
+		case "ri":
+			b.Emit(guest.Insn{Op: ri, Dst: ops[0].reg, Imm: ops[1].imm})
+		default:
+			return bad()
+		}
+		return nil
+
+	case "xchg":
+		if shape != "rr" {
+			return bad()
+		}
+		b.Emit(guest.Insn{Op: guest.OpXCHG, Dst: ops[0].reg, Src: ops[1].reg})
+		return nil
+
+	case "movsx":
+		if shape != "rm" {
+			return bad()
+		}
+		b.Emit(guest.Insn{Op: guest.OpMOVSXB, Dst: ops[0].reg, Mem: ops[1].mem})
+		return nil
+
+	case "add", "sub", "and", "or", "xor":
+		switch shape {
+		case "rr":
+			b.AluRR(mn, ops[0].reg, ops[1].reg)
+		case "ri", "rl":
+			return emitImmOrLabel(b, guest.Insn{Op: aluBase(mn) + 1, Dst: ops[0].reg, Imm: ops[1].imm}, ops[1].label, ln)
+		case "rm":
+			b.AluRM(mn, ops[0].reg, ops[1].mem)
+		case "mr":
+			b.AluMR(mn, ops[0].mem, ops[1].reg)
+		default:
+			return bad()
+		}
+		return nil
+
+	case "cmp":
+		switch shape {
+		case "rr":
+			b.CmpRR(ops[0].reg, ops[1].reg)
+		case "ri":
+			b.CmpRI(ops[0].reg, ops[1].imm)
+		case "rm":
+			b.CmpRM(ops[0].reg, ops[1].mem)
+		case "mi":
+			b.CmpMI(ops[0].mem, ops[1].imm)
+		default:
+			return bad()
+		}
+		return nil
+
+	case "test":
+		switch shape {
+		case "rr":
+			b.TestRR(ops[0].reg, ops[1].reg)
+		case "ri":
+			b.Emit(guest.Insn{Op: guest.OpTESTri, Dst: ops[0].reg, Imm: ops[1].imm})
+		default:
+			return bad()
+		}
+		return nil
+
+	case "inc", "dec", "neg", "not", "mul", "div", "idiv":
+		if shape != "r" {
+			return bad()
+		}
+		var op guest.Op
+		switch mn {
+		case "inc":
+			op = guest.OpINC
+		case "dec":
+			op = guest.OpDEC
+		case "neg":
+			op = guest.OpNEG
+		case "not":
+			op = guest.OpNOT
+		case "mul":
+			op = guest.OpMUL
+		case "div":
+			op = guest.OpDIV
+		case "idiv":
+			op = guest.OpIDIV
+		}
+		b.Emit(guest.Insn{Op: op, Dst: ops[0].reg})
+		return nil
+
+	case "shl", "shr", "sar":
+		if len(ops) != 2 || ops[0].kind != oReg {
+			return bad()
+		}
+		var ri, rc guest.Op
+		switch mn {
+		case "shl":
+			ri, rc = guest.OpSHLri, guest.OpSHLrc
+		case "shr":
+			ri, rc = guest.OpSHRri, guest.OpSHRrc
+		case "sar":
+			ri, rc = guest.OpSARri, guest.OpSARrc
+		}
+		switch {
+		case ops[1].kind == oImm:
+			b.Emit(guest.Insn{Op: ri, Dst: ops[0].reg, Imm: ops[1].imm & 31})
+		case ops[1].isCL:
+			b.Emit(guest.Insn{Op: rc, Dst: ops[0].reg})
+		default:
+			return bad()
+		}
+		return nil
+
+	case "imul":
+		switch shape {
+		case "rr":
+			b.ImulRR(ops[0].reg, ops[1].reg)
+		case "ri":
+			b.ImulRI(ops[0].reg, ops[1].imm)
+		default:
+			return bad()
+		}
+		return nil
+
+	case "push":
+		switch shape {
+		case "r":
+			b.Push(ops[0].reg)
+		case "i":
+			b.PushI(ops[0].imm)
+		case "l":
+			return emitImmOrLabel(b, guest.Insn{Op: guest.OpPUSHi}, ops[0].label, ln)
+		default:
+			return bad()
+		}
+		return nil
+
+	case "pop":
+		if shape != "r" {
+			return bad()
+		}
+		b.Pop(ops[0].reg)
+		return nil
+
+	case "jmp":
+		switch shape {
+		case "l":
+			b.Jmp(ops[0].label)
+		case "r":
+			b.JmpR(ops[0].reg)
+		case "m":
+			b.JmpM(ops[0].mem)
+		default:
+			return bad()
+		}
+		return nil
+
+	case "call":
+		switch shape {
+		case "l":
+			b.Call(ops[0].label)
+		case "r":
+			b.CallR(ops[0].reg)
+		default:
+			return bad()
+		}
+		return nil
+
+	case "in":
+		if shape != "ri" || ops[1].imm > 0xFFFF {
+			return bad()
+		}
+		b.In(ops[0].reg, uint16(ops[1].imm))
+		return nil
+
+	case "out":
+		if shape != "ir" || ops[0].imm > 0xFFFF {
+			return bad()
+		}
+		b.Out(uint16(ops[0].imm), ops[1].reg)
+		return nil
+
+	case "int":
+		if shape != "i" || ops[0].imm > 0xFF {
+			return bad()
+		}
+		b.Int(uint8(ops[0].imm))
+		return nil
+	}
+
+	// Conditional branches: j<cond>.
+	if strings.HasPrefix(mn, "j") {
+		if c, ok := guest.CondByName(mn[1:]); ok {
+			if shape != "l" {
+				return bad()
+			}
+			b.Jcc(c, ops[0].label)
+			return nil
+		}
+	}
+	return fmt.Errorf("line %d: unknown mnemonic %q", ln, mn)
+}

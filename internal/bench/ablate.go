@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cms/internal/cms"
+	"cms/internal/vliw"
+	"cms/internal/workload"
+)
+
+// AblationPoint is one configuration of a swept design parameter.
+type AblationPoint struct {
+	Label string
+	// MPI is molecules per guest instruction under this configuration.
+	MPI float64
+	// Mols is the total molecule count.
+	Mols uint64
+	// Translations made (interesting for threshold sweeps).
+	Translations uint64
+}
+
+// AblationResult is one parameter sweep over one workload.
+type AblationResult struct {
+	Parameter string
+	Workload  string
+	Points    []AblationPoint
+}
+
+// AblateUnroll sweeps the region unroll factor — the design choice that
+// gives the scheduler cross-iteration freedom (DESIGN.md: "regions may be
+// fairly large ... up to 200 x86 instructions").
+func AblateUnroll(name string) (*AblationResult, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Parameter: "unroll", Workload: name}
+	for _, u := range []int{1, 2, 4, 8} {
+		cfg := cms.DefaultConfig()
+		cfg.BasePolicy.Unroll = u
+		r, err := Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label: fmt.Sprintf("unroll=%d", u),
+			MPI:   r.Metrics.MPI(), Mols: r.Mols(), Translations: r.Metrics.Translations,
+		})
+	}
+	return res, nil
+}
+
+// AblateHotThreshold sweeps the interpretation-to-translation threshold —
+// the classic DBT tradeoff between translating cold code (wasted translator
+// work) and interpreting hot code (wasted execution).
+func AblateHotThreshold(name string) (*AblationResult, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Parameter: "hot-threshold", Workload: name}
+	for _, h := range []uint64{5, 20, 50, 200, 1000} {
+		cfg := cms.DefaultConfig()
+		cfg.HotThreshold = h
+		r, err := Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label: fmt.Sprintf("hot=%d", h),
+			MPI:   r.Metrics.MPI(), Mols: r.Mols(), Translations: r.Metrics.Translations,
+		})
+	}
+	return res, nil
+}
+
+// AblateRegionCap sweeps the maximum region length.
+func AblateRegionCap(name string) (*AblationResult, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Parameter: "region-cap", Workload: name}
+	for _, c := range []int{8, 25, 50, 100, 200} {
+		cfg := cms.DefaultConfig()
+		cfg.BasePolicy.MaxInsns = c
+		r, err := Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label: fmt.Sprintf("cap=%d", c),
+			MPI:   r.Metrics.MPI(), Mols: r.Mols(), Translations: r.Metrics.Translations,
+		})
+	}
+	return res, nil
+}
+
+// AblateFaultThreshold sweeps how many speculation failures a translation
+// absorbs before adaptive retranslation (§3's "recurring" judgment).
+func AblateFaultThreshold(name string) (*AblationResult, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Parameter: "fault-threshold", Workload: name}
+	for _, f := range []uint32{1, 2, 4, 16, 1 << 30} {
+		cfg := cms.DefaultConfig()
+		cfg.FaultThreshold = f
+		r, err := Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("faults=%d", f)
+		if f == 1<<30 {
+			label = "faults=never-adapt"
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label: label,
+			MPI:   r.Metrics.MPI(), Mols: r.Mols(), Translations: r.Metrics.Translations,
+		})
+	}
+	return res, nil
+}
+
+// WriteAblation renders a sweep.
+func WriteAblation(w io.Writer, r *AblationResult) {
+	fmt.Fprintf(w, "Ablation: %s on %s\n", r.Parameter, r.Workload)
+	fmt.Fprintf(w, "%-20s %10s %14s %8s\n", "point", "mols/insn", "molecules", "xlations")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-20s %10.2f %14d %8d\n", p.Label, p.MPI, p.Mols, p.Translations)
+	}
+}
+
+// HostGenRow compares a workload across hardware generations.
+type HostGenRow struct {
+	Name    string
+	MPI5800 float64
+	MPI8000 float64
+	Speedup float64 // TM5800 mols / TM8000 mols
+}
+
+// HostGenerations reruns the suite on the TM8000 host — the experiment the
+// paper's co-design argument promises: new hardware, same guest software,
+// only the translator retargeted.
+func HostGenerations() ([]HostGenRow, error) {
+	var rows []HostGenRow
+	for _, w := range workload.All() {
+		base, err := Run(w, cms.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		cfg := cms.DefaultConfig()
+		cfg.Host = vliw.TM8000()
+		next, err := Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HostGenRow{
+			Name:    w.Name,
+			MPI5800: base.Metrics.MPI(),
+			MPI8000: next.Metrics.MPI(),
+			Speedup: float64(base.Mols()) / float64(next.Mols()),
+		})
+	}
+	return rows, nil
+}
+
+// WriteHostGen renders the generation comparison.
+func WriteHostGen(w io.Writer, rows []HostGenRow) {
+	fmt.Fprintln(w, "Hardware generations: TM5800 vs TM8000 (same guest binaries)")
+	fmt.Fprintf(w, "%-18s %10s %10s %9s\n", "benchmark", "mpi-5800", "mpi-8000", "speedup")
+	var s float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %10.2f %10.2f %8.2fx\n", r.Name, r.MPI5800, r.MPI8000, r.Speedup)
+		s += r.Speedup
+	}
+	fmt.Fprintf(w, "mean speedup: %.2fx\n", s/float64(len(rows)))
+}

@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"cms/internal/cms"
+	"cms/internal/vliw"
+	"cms/internal/workload"
+)
+
+// Row is one benchmark line of a degradation figure.
+type Row struct {
+	Name        string
+	Kind        workload.Kind
+	BaseMols    uint64
+	VariantMols uint64
+	Percent     float64
+}
+
+// FigureResult is a reproduced bar chart: per-benchmark degradations and
+// the boot/application means the paper prints.
+type FigureResult struct {
+	Title    string
+	Rows     []Row
+	MeanBoot float64
+	MeanApp  float64
+}
+
+func runFigure(title string, variant func(*cms.Config)) (*FigureResult, error) {
+	res := &FigureResult{Title: title}
+	var boots, apps []float64
+	for _, w := range workload.All() {
+		base, err := Run(w, cms.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		cfg := cms.DefaultConfig()
+		variant(&cfg)
+		v, err := Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		d := degradation(base.Mols(), v.Mols())
+		res.Rows = append(res.Rows, Row{
+			Name: w.Name, Kind: w.Kind,
+			BaseMols: base.Mols(), VariantMols: v.Mols(), Percent: d,
+		})
+		if w.Kind == workload.Boot {
+			boots = append(boots, d)
+		} else {
+			apps = append(apps, d)
+		}
+	}
+	res.MeanBoot, res.MeanApp = mean(boots), mean(apps)
+	return res, nil
+}
+
+// Figure2 reproduces "Degradation Caused by Suppressing Memory Reordering":
+// the full suite with and without load/store reordering.
+func Figure2() (*FigureResult, error) {
+	return runFigure("Figure 2: degradation from suppressing memory reordering",
+		func(c *cms.Config) { c.BasePolicy.NoReorderMem = true })
+}
+
+// Figure3 reproduces "Degradation Caused By No Alias Hardware": reordering
+// allowed only across provably disjoint references.
+func Figure3() (*FigureResult, error) {
+	return runFigure("Figure 3: degradation without alias hardware",
+		func(c *cms.Config) { c.BasePolicy.NoAliasHW = true })
+}
+
+// Table1Row is one line of the fine-grain protection table.
+type Table1Row struct {
+	Name string
+	// FaultsFG / FaultsNoFG are protection fault counts with and without
+	// fine-grain support.
+	FaultsFG   uint64
+	FaultsNoFG uint64
+	// FaultRatio is NoFG/FG (the paper's "faults" column).
+	FaultRatio float64
+	// MPIFG/MPINoFG are molecules per guest instruction.
+	MPIFG   float64
+	MPINoFG float64
+	// Slowdown is MPINoFG/MPIFG (the paper's "slowdown" column).
+	Slowdown float64
+}
+
+// Table1Workloads are the benchmarks in the paper's Table 1, mapped to our
+// analogs.
+var Table1Workloads = []string{
+	"win95_boot", "win98_boot", "multimedia", "winstone_corel", "quake_demo2",
+}
+
+// Table1 reproduces "Slowdown Without Fine-Grain Protection".
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range Table1Workloads {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		fg, err := Run(w, cms.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		cfg := cms.DefaultConfig()
+		cfg.EnableFineGrain = false
+		nofg, err := Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Name:       name,
+			FaultsFG:   fg.Metrics.ProtFaults,
+			FaultsNoFG: nofg.Metrics.ProtFaults,
+			MPIFG:      fg.Metrics.MPI(),
+			MPINoFG:    nofg.Metrics.MPI(),
+		}
+		if row.FaultsFG > 0 {
+			row.FaultRatio = float64(row.FaultsNoFG) / float64(row.FaultsFG)
+		}
+		if row.MPIFG > 0 {
+			row.Slowdown = row.MPINoFG / row.MPIFG
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SelfCheckRow is one line of the §3.6.3 forced-self-checking data.
+type SelfCheckRow struct {
+	Name string
+	// CodeGrowth is the static code size increase in percent.
+	CodeGrowth float64
+	// MolGrowth is the dynamic molecule increase in percent.
+	MolGrowth float64
+}
+
+// SelfCheckResult carries the suite rows plus the means the paper quotes
+// ("a mean of 83% to the code size... a mean of 51% to the molecules
+// executed").
+type SelfCheckResult struct {
+	Rows               []SelfCheckRow
+	MeanCode, MeanMols float64
+}
+
+// SelfCheck measures the cost of forcing every translation to be
+// self-checking.
+func SelfCheck() (*SelfCheckResult, error) {
+	res := &SelfCheckResult{}
+	var codes, mols []float64
+	for _, w := range workload.All() {
+		base, err := Run(w, cms.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		cfg := cms.DefaultConfig()
+		cfg.BasePolicy.SelfCheck = true
+		chk, err := Run(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Normalize static size per translated guest instruction, since the
+		// checked run may translate a different number of regions.
+		baseSize := float64(base.Metrics.CodeAtoms) / float64(base.Metrics.GuestInsnsTranslated)
+		chkSize := float64(chk.Metrics.CodeAtoms) / float64(chk.Metrics.GuestInsnsTranslated)
+		row := SelfCheckRow{
+			Name:       w.Name,
+			CodeGrowth: 100 * (chkSize - baseSize) / baseSize,
+			MolGrowth:  degradation(base.Mols(), chk.Mols()),
+		}
+		res.Rows = append(res.Rows, row)
+		codes = append(codes, row.CodeGrowth)
+		mols = append(mols, row.MolGrowth)
+	}
+	res.MeanCode, res.MeanMols = mean(codes), mean(mols)
+	return res, nil
+}
+
+// SelfRevalResult carries the §3.6.2 Quake frame-rate comparison.
+type SelfRevalResult struct {
+	Frames uint32
+	// FrameRateWith/Without are frames per million molecules.
+	FrameRateWith    float64
+	FrameRateWithout float64
+	// Improvement is the percentage frame-rate gain from self-revalidation
+	// (the paper reports 28%).
+	Improvement float64
+	ArmsWith    uint64
+	PassesWith  uint64
+}
+
+// SelfReval measures the Quake analog with and without self-revalidating
+// translations.
+func SelfReval() (*SelfRevalResult, error) {
+	w, err := workload.ByName("quake_demo2")
+	if err != nil {
+		return nil, err
+	}
+	with, err := Run(w, cms.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := cms.DefaultConfig()
+	cfg.EnableSelfReval = false
+	without, err := Run(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fr := func(r *RunStats) float64 {
+		return float64(r.QuakeFrames) / (float64(r.Mols()) / 1e6)
+	}
+	res := &SelfRevalResult{
+		Frames:           with.QuakeFrames,
+		FrameRateWith:    fr(with),
+		FrameRateWithout: fr(without),
+		ArmsWith:         with.Metrics.SelfRevalArms,
+		PassesWith:       with.Metrics.SelfRevalPasses,
+	}
+	if res.FrameRateWithout > 0 {
+		res.Improvement = 100 * (res.FrameRateWith - res.FrameRateWithout) / res.FrameRateWithout
+	}
+	return res, nil
+}
+
+// FlowResult validates the Figure 1 control-flow structure with observed
+// transition counts from a representative workload.
+type FlowResult struct {
+	Workload string
+	Metrics  cms.Metrics
+}
+
+// Flow runs a workload and reports the dispatch-loop transition counts.
+func Flow(name string) (*FlowResult, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Run(w, cms.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &FlowResult{Workload: name, Metrics: r.Metrics}, nil
+}
+
+// ChainResult compares execution with and without exit chaining (§2).
+type ChainResult struct {
+	Workload                   string
+	MolsChained, MolsUnchained uint64
+	ChainTransfers             uint64
+	LookupsChained             uint64
+	LookupsUnchained           uint64
+}
+
+// Chain measures what chaining saves.
+func Chain(name string) (*ChainResult, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	on, err := Run(w, cms.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := cms.DefaultConfig()
+	cfg.EnableChaining = false
+	off, err := Run(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ChainResult{
+		Workload:         name,
+		MolsChained:      on.Mols(),
+		MolsUnchained:    off.Mols(),
+		ChainTransfers:   on.Metrics.ChainTransfers,
+		LookupsChained:   on.Metrics.LookupTransfers,
+		LookupsUnchained: off.Metrics.LookupTransfers + off.Metrics.DispatchReturns,
+	}, nil
+}
+
+// FaultMix summarizes fault-class counts across the whole suite under the
+// default configuration (structural data for §3).
+type FaultMix struct {
+	Faults      [8]uint64
+	Adaptations [8]uint64
+	Names       []string
+}
+
+// Faults aggregates fault statistics over the suite.
+func Faults() (*FaultMix, error) {
+	res := &FaultMix{}
+	for c := vliw.FaultClass(0); c < 8; c++ {
+		res.Names = append(res.Names, c.String())
+	}
+	for _, w := range workload.All() {
+		r, err := Run(w, cms.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 8; i++ {
+			res.Faults[i] += r.Metrics.Faults[i]
+			res.Adaptations[i] += r.Metrics.Adaptations[i]
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,380 @@
+package cms
+
+import (
+	"errors"
+	"fmt"
+
+	"cms/internal/dev"
+	"cms/internal/interp"
+	"cms/internal/ir"
+	"cms/internal/tcache"
+	"cms/internal/vliw"
+	"cms/internal/xlate"
+)
+
+// Engine is the Code Morphing runtime for one platform.
+type Engine struct {
+	Cfg  Config
+	Plat *dev.Platform
+
+	Interp  *interp.Interp
+	Machine *vliw.Machine
+	Trans   *xlate.Translator
+	Cache   *tcache.Cache
+
+	Metrics Metrics
+
+	// Trace, when non-nil, records engine events (translations, faults,
+	// adaptations, SMC machinery) for debugging and tooling.
+	Trace *Trace
+
+	sites  map[uint32]*site
+	budget uint64
+	err    error
+}
+
+// ErrBudget reports that Run stopped because the instruction budget was
+// exhausted rather than because the guest halted.
+var ErrBudget = errors.New("cms: guest instruction budget exhausted")
+
+// New builds an engine over a platform, with the guest entry point set.
+func New(plat *dev.Platform, entry uint32, cfg Config) *Engine {
+	cfg = cfg.normalized()
+	ip := interp.New(plat.Bus)
+	ip.CPU = interp.NewCPU(entry)
+	ip.IRQ = plat.IRQ
+	ip.Timer = plat.Timer
+	ip.Prof = interp.NewProfile()
+	ip.CheckProt = true
+
+	m := vliw.NewMachine(plat.Bus)
+	m.IRQ = plat.IRQ
+
+	c := tcache.New()
+	if cfg.TCacheCapAtoms > 0 {
+		c.CapAtoms = cfg.TCacheCapAtoms
+	}
+
+	e := &Engine{
+		Cfg:     cfg,
+		Plat:    plat,
+		Interp:  ip,
+		Machine: m,
+		Trans:   &xlate.Translator{Bus: plat.Bus, Prof: ip.Prof, Host: cfg.Host},
+		Cache:   c,
+		sites:   make(map[uint32]*site),
+	}
+	plat.Bus.DMAInvalidate = func(page uint32) {
+		e.Cache.InvalidatePage(page)
+		e.Metrics.DMAInvalidations++
+		e.trace(EvDMA, page<<12, "")
+	}
+	return e
+}
+
+// CPU returns the guest architectural state.
+func (e *Engine) CPU() *interp.CPU { return &e.Interp.CPU }
+
+func (e *Engine) site(entry uint32) *site {
+	s := e.sites[entry]
+	if s == nil {
+		s = &site{}
+		e.sites[entry] = s
+	}
+	return s
+}
+
+// Run executes the guest until it halts, an unrecoverable error occurs, or
+// maxGuest instructions have retired. It returns nil on a clean halt and
+// ErrBudget if the budget ran out.
+func (e *Engine) Run(maxGuest uint64) error {
+	e.budget = maxGuest
+	for e.Metrics.GuestTotal() < maxGuest {
+		if e.err != nil {
+			return e.err
+		}
+		if e.Interp.CPU.Halted {
+			return nil
+		}
+		eip := e.Interp.CPU.EIP
+		if ent := e.Cache.Lookup(eip); ent != nil {
+			e.Metrics.DispatchToTexec++
+			e.runTranslated(ent)
+			continue
+		}
+		if !e.Cfg.NoTranslate && e.hot(eip) {
+			if ent := e.translateAt(eip); ent != nil {
+				e.Metrics.DispatchToTexec++
+				e.runTranslated(ent)
+				continue
+			}
+		}
+		e.stepInterp()
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if e.Interp.CPU.Halted {
+		return nil
+	}
+	return ErrBudget
+}
+
+// stepInterp interprets one instruction boundary, resolving protection hits.
+func (e *Engine) stepInterp() {
+	res := e.Interp.Step()
+	e.Metrics.MolsInterp += res.Cost
+	switch res.Stop {
+	case interp.StopError:
+		e.err = res.Err
+	case interp.StopProt:
+		e.resolveProt(res.Prot.Addr, res.Prot.Size)
+	}
+	if res.Retired {
+		e.Metrics.GuestInterp++
+	}
+	if res.IRQ {
+		e.Metrics.Interrupts++
+	}
+}
+
+// hot reports whether the profiler says eip deserves translation.
+func (e *Engine) hot(eip uint32) bool {
+	if e.site(eip).interpOnly {
+		return false
+	}
+	return e.Interp.Prof.Heads[eip] >= e.Cfg.HotThreshold
+}
+
+// translateAt produces and installs a translation for eip, trying the
+// translation group first (§3.6.5). It returns nil if the address is
+// untranslatable.
+func (e *Engine) translateAt(eip uint32) *tcache.Entry {
+	s := e.site(eip)
+	if e.Cfg.EnableGroups && s.useGroups {
+		if t := e.Cache.GroupMatch(eip, e.Plat.Bus); t != nil {
+			e.Metrics.GroupReuses++
+			e.trace(EvGroupReuse, eip, "")
+			ent := e.Cache.Install(t)
+			ent.SelfReval = s.wantSelfReval && e.Cfg.EnableSelfReval
+			e.protect(t)
+			return ent
+		}
+	}
+	pol := e.Cfg.BasePolicy.Merge(s.policy)
+	if s.selfCheck {
+		pol.SelfCheck = true
+	}
+	t, err := e.Trans.Translate(eip, pol)
+	if err != nil {
+		if errors.Is(err, xlate.ErrUntranslatable) {
+			s.interpOnly = true
+			return nil
+		}
+		e.err = fmt.Errorf("cms: translation failed at %#x: %w", eip, err)
+		return nil
+	}
+	e.Metrics.Translations++
+	e.Metrics.MolsTranslate += e.Cfg.TranslateCostPerInsn * uint64(len(t.Insns))
+	e.Metrics.CodeAtoms += uint64(t.CodeAtoms())
+	e.Metrics.GuestInsnsTranslated += uint64(len(t.Insns))
+	e.trace(EvTranslate, eip, fmt.Sprintf("%d insns, %d mols", len(t.Insns), t.CodeMolecules()))
+	ent := e.Cache.Install(t)
+	ent.SelfReval = s.wantSelfReval && e.Cfg.EnableSelfReval
+	e.protect(t)
+	return ent
+}
+
+// protect write-protects the translation's source pages: fine-grain chunks
+// where the page is already in fine-grain mode, coarse protection otherwise.
+func (e *Engine) protect(t *xlate.Translation) {
+	chunks := t.Chunks()
+	for _, p := range t.Pages() {
+		if fg, _ := e.Plat.Bus.IsFineGrain(p); fg {
+			e.Plat.Bus.AddFineGrainChunks(p, chunks[p])
+		} else {
+			e.Plat.Bus.Protect(p)
+		}
+	}
+}
+
+// runTranslated executes translations starting at ent, following chains
+// until a fault or an exit with no cached successor.
+func (e *Engine) runTranslated(ent *tcache.Entry) {
+	cpu := &e.Interp.CPU
+	e.Machine.LoadGuest(&cpu.Regs, cpu.Flags, cpu.EIP)
+	cur := ent
+	for {
+		if cur.Armed {
+			switch e.runPrologue(cur) {
+			case prologueErr, prologueIRQ:
+				// Error recorded, or an interrupt was delivered; back to
+				// the dispatcher either way.
+				return
+			case prologueFail:
+				// Source changed under the prologue: handle SMC and bail to
+				// the dispatcher; no guest state was touched. Continue at
+				// the committed boundary (this translation's entry — the
+				// dispatch EIP only for the first link of a chain).
+				e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+				cpu.EIP = e.Machine.CommittedEIP
+				e.Metrics.SelfRevalFails++
+				e.trace(EvRevalFail, cur.T.Entry, "")
+				e.handleSourceChanged(cur)
+				return
+			case prologuePass:
+				e.Metrics.SelfRevalPasses++
+				e.trace(EvRevalPass, cur.T.Entry, "")
+				e.reprotect(cur.T)
+				cur.Armed = false
+			}
+		}
+
+		mols0 := e.Machine.Mols
+		out := e.Machine.Exec(cur.T.Code)
+		e.Metrics.MolsTexec += e.Machine.Mols - mols0
+		cur.Execs++
+
+		if out.Fault != vliw.FNone {
+			e.Metrics.Faults[out.Fault]++
+			cur.FaultCounts[out.Fault]++
+			e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+			cpu.EIP = e.Machine.CommittedEIP
+			e.traceFault(EvFault, out.Addr, out.Fault)
+			e.handleFault(cur, out)
+			return
+		}
+
+		ex := cur.T.Exits[out.Exit]
+		e.Metrics.GuestTexec += uint64(ex.Insns)
+		e.Plat.Timer.Advance(uint64(ex.Insns))
+
+		if ex.Kind == ir.ExitSelfCheckFail {
+			e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+			cpu.EIP = e.Machine.CommittedEIP
+			e.Metrics.SelfCheckFails++
+			e.trace(EvSelfCheckFail, cur.T.Entry, "")
+			e.handleSourceChanged(cur)
+			return
+		}
+
+		target := ex.Target
+		if out.Indirect {
+			target = out.IndTarget
+		}
+
+		// Chained loops can run entirely inside the cache; surface to the
+		// dispatcher when the instruction budget runs out.
+		if e.Metrics.GuestTotal() >= e.budget {
+			e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+			cpu.EIP = target
+			e.Metrics.DispatchReturns++
+			return
+		}
+
+		var next *tcache.Entry
+		if e.Cfg.EnableChaining && !out.Indirect {
+			if ch := cur.Chained(out.Exit); ch != nil && ch.Valid {
+				next = ch
+				e.Metrics.ChainTransfers++
+			} else if next = e.Cache.Lookup(target); next != nil {
+				e.Cache.Chain(cur, out.Exit, next)
+				e.Metrics.LookupTransfers++
+				e.Metrics.MolsDispatch += e.Cfg.LookupCost
+			}
+		} else {
+			if next = e.Cache.Lookup(target); next != nil {
+				e.Metrics.LookupTransfers++
+				e.Metrics.MolsDispatch += e.Cfg.LookupCost
+			}
+		}
+		if next == nil {
+			e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+			cpu.EIP = target
+			e.Metrics.DispatchReturns++
+			e.Metrics.MolsDispatch += e.Cfg.LookupCost
+			// The dispatcher is a profiling point too: targets that keep
+			// arriving from translated code (typically via indirect exits)
+			// must still cross the translation threshold.
+			e.Interp.Prof.Heads[target]++
+			return
+		}
+		// The exit committed at target's boundary: recovery from a fault in
+		// the next translation must re-interpret from there, not from the
+		// chain's first entry.
+		e.Machine.CommittedEIP = target
+		cur = next
+	}
+}
+
+// prologueOutcome is the result of running a self-revalidation prologue.
+type prologueOutcome uint8
+
+const (
+	prologuePass prologueOutcome = iota
+	prologueFail
+	prologueIRQ
+	prologueErr
+)
+
+// runPrologue executes a self-revalidation prologue (§3.6.2).
+func (e *Engine) runPrologue(ent *tcache.Entry) prologueOutcome {
+	code, pass, fail, err := ent.T.Prologue()
+	if err != nil {
+		e.err = err
+		return prologueErr
+	}
+	mols0 := e.Machine.Mols
+	out := e.Machine.Exec(code)
+	e.Metrics.MolsPrologue += e.Machine.Mols - mols0
+	switch {
+	case out.Fault == vliw.FIRQ:
+		// Deliver at the committed boundary; the dispatcher comes back and
+		// re-runs the prologue afterwards.
+		e.deliverIRQ()
+		return prologueIRQ
+	case out.Fault != vliw.FNone:
+		e.err = fmt.Errorf("cms: prologue fault %v at %#x", out.Fault, ent.T.Entry)
+		return prologueErr
+	case out.Exit == pass:
+		return prologuePass
+	case out.Exit == fail:
+		return prologueFail
+	}
+	e.err = fmt.Errorf("cms: prologue exit %d unknown", out.Exit)
+	return prologueErr
+}
+
+// reprotect restores write protection over a translation's source bytes
+// after a successful revalidation.
+func (e *Engine) reprotect(t *xlate.Translation) {
+	chunks := t.Chunks()
+	for _, p := range t.Pages() {
+		if fg, _ := e.Plat.Bus.IsFineGrain(p); fg {
+			e.Plat.Bus.AddFineGrainChunks(p, chunks[p])
+		} else if e.Cfg.EnableFineGrain {
+			e.Plat.Bus.SetFineGrain(p, e.Cache.PageChunkMask(p)|chunks[p])
+		} else {
+			e.Plat.Bus.Protect(p)
+		}
+	}
+}
+
+// deliverIRQ lets the interpreter deliver a pending interrupt at the
+// current (committed) boundary.
+func (e *Engine) deliverIRQ() {
+	cpu := &e.Interp.CPU
+	e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+	cpu.EIP = e.Machine.CommittedEIP
+	res := e.Interp.Step()
+	e.Metrics.MolsInterp += res.Cost
+	if res.IRQ {
+		e.Metrics.Interrupts++
+	}
+	if res.Stop == interp.StopError {
+		e.err = res.Err
+	}
+	if res.Retired {
+		e.Metrics.GuestInterp++
+	}
+}

@@ -1,0 +1,215 @@
+package cms
+
+import (
+	"fmt"
+
+	"cms/internal/mem"
+	"cms/internal/tcache"
+	"cms/internal/xlate"
+)
+
+// resolveProt handles a guest write that struck CMS-protected memory
+// (§3.6). It must leave the protection state such that re-executing the
+// write proceeds:
+//
+//  1. If the page is coarse-protected and fine-grain protection is enabled,
+//     the page is converted to fine-grain first (§3.6.1); a write that then
+//     falls in a code-free chunk costs nothing further.
+//  2. Translations whose source bytes the write actually touches are armed
+//     for self-revalidation (§3.6.2) when eligible, else invalidated (and
+//     retired into their group, §3.6.5).
+//  3. The touched chunks (or the whole page without fine-grain) lose
+//     protection so the write can land; prologues or reinstalls restore it.
+func (e *Engine) resolveProt(addr uint32, size int) {
+	e.Metrics.ProtFaults++
+	e.trace(EvProtFault, addr, "")
+	bus := e.Plat.Bus
+	page := mem.PageOf(addr)
+
+	if fg, _ := bus.IsFineGrain(page); !fg && e.Cfg.EnableFineGrain {
+		// Convert the page to fine-grain protection: only chunks holding
+		// translated code keep faulting.
+		bus.SetFineGrain(page, e.Cache.PageChunkMask(page))
+		e.Metrics.FineGrainConversions++
+		e.trace(EvFineGrain, page<<mem.PageShift, "")
+		if bus.CheckProt(addr, size, mem.SrcCPU) == nil {
+			return // the write lands in a data chunk: resolved
+		}
+	}
+
+	// Victims are computed at protection granularity: with fine-grain
+	// protection, every translation with source bytes in the written
+	// chunks is affected ("the granularity supported cannot always
+	// identify a single translation affected, but typically narrows the
+	// impact to a few"); with coarse protection the whole page goes below.
+	vAddr, vSize := addr, size
+	if fg, _ := bus.IsFineGrain(page); fg {
+		lo := addr &^ (mem.ChunkSize - 1)
+		hi := (addr + uint32(size) + mem.ChunkSize - 1) &^ (mem.ChunkSize - 1)
+		vAddr, vSize = lo, int(hi-lo)
+	}
+	victims := e.Cache.Overlapping(vAddr, vSize)
+	for _, v := range victims {
+		s := e.site(v.T.Entry)
+		s.smcWrites++
+		if e.Cfg.EnableSelfReval && v.SelfReval && !v.Armed {
+			// Keep the translation; its prologue revalidates on next entry.
+			v.Armed = true
+			e.Metrics.SelfRevalArms++
+			e.trace(EvArm, v.T.Entry, "")
+			continue
+		}
+		if s.smcWrites >= 2 && e.Cfg.EnableSelfReval {
+			// Flag the site: the next translation is a self-revalidation
+			// candidate ("once a candidate is identified, it is flagged;
+			// the next time it is re-translated to capture the x86 code").
+			s.wantSelfReval = true
+		}
+		if e.Cfg.EnableGroups {
+			s.useGroups = true
+		}
+		e.Cache.Invalidate(v)
+	}
+
+	// Drop protection over the written bytes so the store can proceed.
+	if fg, _ := bus.IsFineGrain(page); fg {
+		var mask uint32
+		for a := addr; a < addr+uint32(size)+mem.ChunkSize-1; a += mem.ChunkSize {
+			if mem.PageOf(a) == page {
+				mask |= 1 << mem.ChunkOf(a)
+			}
+		}
+		bus.ClearFineGrainChunks(page, mask)
+		// Other pages a straddling write touches.
+		if last := mem.PageOf(addr + uint32(size) - 1); last != page {
+			e.dropCoarseOrChunk(last, addr, size)
+		}
+	} else {
+		// Coarse protection: everything on the page goes (§3.6: "page-level
+		// protection is adequate for correctness").
+		for _, v := range e.Cache.PageEntries(page) {
+			if v.Valid {
+				e.Cache.Invalidate(v)
+			}
+		}
+		bus.Unprotect(page)
+		if last := mem.PageOf(addr + uint32(size) - 1); last != page {
+			e.dropCoarseOrChunk(last, addr, size)
+		}
+	}
+}
+
+func (e *Engine) dropCoarseOrChunk(page uint32, addr uint32, size int) {
+	bus := e.Plat.Bus
+	if !bus.IsProtected(page) {
+		return
+	}
+	if fg, _ := bus.IsFineGrain(page); fg {
+		var mask uint32
+		for a := addr; a < addr+uint32(size)+mem.ChunkSize-1; a += mem.ChunkSize {
+			if mem.PageOf(a) == page {
+				mask |= 1 << mem.ChunkOf(a)
+			}
+		}
+		bus.ClearFineGrainChunks(page, mask)
+		return
+	}
+	for _, v := range e.Cache.PageEntries(page) {
+		if v.Valid {
+			e.Cache.Invalidate(v)
+		}
+	}
+	bus.Unprotect(page)
+}
+
+// reconcileProtection drops page protection that no remaining translation
+// needs (called after invalidations outside the write path).
+func (e *Engine) reconcileProtection(ent *tcache.Entry) {
+	bus := e.Plat.Bus
+	for _, p := range ent.T.Pages() {
+		if len(e.Cache.PageEntries(p)) == 0 {
+			bus.Unprotect(p)
+		} else if fg, _ := bus.IsFineGrain(p); fg {
+			bus.SetFineGrain(p, e.Cache.PageChunkMask(p))
+		}
+	}
+}
+
+// handleSourceChanged reacts to detected self-modification: a failed
+// prologue (§3.6.2) or a self-check fail exit (§3.6.3). The translation is
+// retired; the site escalates to stylized-immediate translation when the
+// modification pattern allows (§3.6.4), and to self-checking plus groups
+// when it recurs.
+func (e *Engine) handleSourceChanged(ent *tcache.Entry) {
+	s := e.site(ent.T.Entry)
+	s.prologueFails++
+
+	if e.Cfg.EnableStylized {
+		if addrs := stylizedDiff(ent.T, e.Plat.Bus); len(addrs) > 0 {
+			for _, a := range addrs {
+				s.policy = s.policy.WithImmLoad(a)
+			}
+			// §3.6.4: immediate loading must be combined with checking.
+			if !e.Cfg.EnableSelfReval {
+				s.selfCheck = true
+			} else {
+				s.wantSelfReval = true
+			}
+			e.Metrics.StylizedAdopts++
+			e.trace(EvStylized, ent.T.Entry, fmt.Sprintf("%d imm fields", len(addrs)))
+		}
+	}
+	if s.prologueFails >= 2 {
+		if e.Cfg.EnableGroups {
+			s.useGroups = true
+		}
+		if !e.Cfg.EnableSelfReval {
+			s.selfCheck = true
+		}
+	}
+	e.Cache.Invalidate(ent)
+	e.reconcileProtection(ent)
+}
+
+// stylizedDiff compares a translation's snapshot with current memory. If
+// every differing byte lies inside the 32-bit immediate field of some
+// covered instruction, it returns those instructions' addresses — the
+// "modify the immediate just before the loop" idiom of §3.6.4. Otherwise it
+// returns nil.
+func stylizedDiff(t *xlate.Translation, bus *mem.Bus) []uint32 {
+	type field struct{ lo, hi, insn uint32 }
+	var fields []field
+	for _, in := range t.Insns {
+		if in.HasImm32() {
+			fields = append(fields, field{in.Addr + in.ImmOff, in.Addr + in.ImmOff + 4, in.Addr})
+		}
+	}
+	found := make(map[uint32]bool)
+	for ri, r := range t.SrcRanges {
+		cur := bus.ReadRaw(r.Addr, int(r.Len))
+		snap := t.Snapshot[ri]
+		mask := t.Mask[ri]
+		for i := range snap {
+			if mask[i] == 0 || cur[i] == snap[i] {
+				continue
+			}
+			a := r.Addr + uint32(i)
+			ok := false
+			for _, f := range fields {
+				if a >= f.lo && a < f.hi {
+					found[f.insn] = true
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}
+	out := make([]uint32, 0, len(found))
+	for a := range found {
+		out = append(out, a)
+	}
+	return out
+}

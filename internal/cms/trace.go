@@ -1,0 +1,138 @@
+package cms
+
+import (
+	"fmt"
+	"io"
+
+	"cms/internal/vliw"
+)
+
+// EventKind classifies engine trace events.
+type EventKind uint8
+
+// The trace event kinds, covering every edge of the Figure 1 control flow
+// plus the SMC machinery.
+const (
+	EvTranslate EventKind = iota // a region was translated
+	EvGroupReuse
+	EvFault // a translation faulted and rolled back
+	EvAdapt // adaptive retranslation triggered
+	EvInvalidate
+	EvProtFault
+	EvFineGrain // page converted to fine-grain protection
+	EvArm       // self-revalidation armed
+	EvRevalPass
+	EvRevalFail
+	EvSelfCheckFail
+	EvStylized // stylized-SMC immediates adopted
+	EvDMA      // DMA invalidated a page
+	EvIRQ      // interrupt delivered
+	EvFlush    // translation cache flushed
+)
+
+var eventNames = [...]string{
+	"translate", "group-reuse", "fault", "adapt", "invalidate", "prot-fault",
+	"fine-grain", "arm", "reval-pass", "reval-fail", "selfcheck-fail",
+	"stylized", "dma", "irq", "flush",
+}
+
+// String names the event kind.
+func (k EventKind) String() string { return eventNames[k] }
+
+// Event is one engine trace record.
+type Event struct {
+	Kind EventKind
+	// Addr is the guest address the event concerns (translation entry,
+	// faulting address, page base...).
+	Addr uint32
+	// Fault is the fault class for EvFault/EvAdapt events.
+	Fault vliw.FaultClass
+	// Detail carries a short free-form note.
+	Detail string
+	// Guest is the retired-instruction timestamp.
+	Guest uint64
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%10d] %-14s %#x", e.Guest, e.Kind, e.Addr)
+	if e.Kind == EvFault || e.Kind == EvAdapt {
+		s += " " + e.Fault.String()
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Trace is a bounded event recorder. A nil *Trace is valid and records
+// nothing, so the engine can trace unconditionally.
+type Trace struct {
+	events []Event
+	cap    int
+	// Dropped counts events lost to the bound.
+	Dropped uint64
+}
+
+// NewTrace returns a trace keeping at most capacity events (default 4096).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Trace{cap: capacity}
+}
+
+func (t *Trace) add(e Event) {
+	if t == nil {
+		return
+	}
+	if len(t.events) >= t.cap {
+		t.Dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns the recorded events.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Write renders the trace to w, one event per line.
+func (t *Trace) Write(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e)
+	}
+	if t != nil && t.Dropped > 0 {
+		fmt.Fprintf(w, "... %d events dropped (raise the trace capacity)\n", t.Dropped)
+	}
+}
+
+// CountKind returns how many events of a kind were recorded.
+func (t *Trace) CountKind(k EventKind) int {
+	n := 0
+	for _, e := range t.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// trace records an event with the current retired-instruction timestamp.
+func (e *Engine) trace(k EventKind, addr uint32, detail string) {
+	if e.Trace == nil {
+		return
+	}
+	e.Trace.add(Event{Kind: k, Addr: addr, Detail: detail, Guest: e.Metrics.GuestTotal()})
+}
+
+func (e *Engine) traceFault(k EventKind, addr uint32, class vliw.FaultClass) {
+	if e.Trace == nil {
+		return
+	}
+	e.Trace.add(Event{Kind: k, Addr: addr, Fault: class, Guest: e.Metrics.GuestTotal()})
+}

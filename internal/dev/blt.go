@@ -1,0 +1,106 @@
+package dev
+
+import "cms/internal/mem"
+
+// BLT engine MMIO register offsets from BltMMIOBase.
+const (
+	BltMMIOBase = 0xC0000
+	BltMMIOSize = 0x1000
+
+	BltRegSrc   = 0x00 // DMA source guest address
+	BltRegDst   = 0x04 // DMA destination guest address
+	BltRegCount = 0x08 // byte count
+	BltRegOp    = 0x0C // BltOpCopy / BltOpFill / BltOpXor
+	BltRegGo    = 0x10 // write anything: start
+	BltRegStat  = 0x14 // read: operations completed
+	BltRegFill  = 0x18 // fill byte for BltOpFill
+
+	BltOpCopy = 0
+	BltOpFill = 1
+	BltOpXor  = 2
+)
+
+// Blt is a memory-mapped block-transfer engine, the analog of the graphics
+// accelerators the paper's device-driver workloads (the Windows/9x
+// device-independent BLT driver, §3.6.5) program through MMIO registers.
+// Programming it is a burst of memory-mapped stores whose order is
+// irrevocable, and its transfers are DMA writes into guest RAM.
+type Blt struct {
+	bus *mem.Bus
+	irq *IRQController
+
+	src, dst, count, op, fill uint32
+	ops                       uint64
+}
+
+// NewBlt returns a BLT engine on the given bus.
+func NewBlt(bus *mem.Bus, irq *IRQController) *Blt { return &Blt{bus: bus, irq: irq} }
+
+// Ops returns the number of completed operations.
+func (b *Blt) Ops() uint64 { return b.ops }
+
+// MMIORead implements mem.MMIODevice. All reads are idempotent.
+func (b *Blt) MMIORead(addr uint32, size int) uint32 {
+	switch addr - BltMMIOBase {
+	case BltRegSrc:
+		return b.src
+	case BltRegDst:
+		return b.dst
+	case BltRegCount:
+		return b.count
+	case BltRegOp:
+		return b.op
+	case BltRegStat:
+		return uint32(b.ops)
+	case BltRegFill:
+		return b.fill
+	}
+	return 0
+}
+
+// MMIOWrite implements mem.MMIODevice.
+func (b *Blt) MMIOWrite(addr uint32, size int, v uint32) {
+	switch addr - BltMMIOBase {
+	case BltRegSrc:
+		b.src = v
+	case BltRegDst:
+		b.dst = v
+	case BltRegCount:
+		b.count = v
+	case BltRegOp:
+		b.op = v
+	case BltRegFill:
+		b.fill = v
+	case BltRegGo:
+		b.execute()
+	}
+}
+
+func (b *Blt) execute() {
+	n := int(b.count)
+	if n < 0 || n > 1<<20 {
+		n = 0
+	}
+	buf := make([]byte, n)
+	switch b.op {
+	case BltOpCopy:
+		copy(buf, b.bus.ReadRaw(b.src, n))
+	case BltOpFill:
+		for i := range buf {
+			buf[i] = byte(b.fill)
+		}
+	case BltOpXor:
+		s := b.bus.ReadRaw(b.src, n)
+		d := b.bus.ReadRaw(b.dst, n)
+		for i := range buf {
+			buf[i] = s[i] ^ d[i]
+		}
+	default:
+		return
+	}
+	if n > 0 {
+		b.bus.DMAWrite(b.dst, buf)
+	}
+	b.ops++
+	b.irq.Raise(IRQBlt)
+}

@@ -1,0 +1,82 @@
+package dev
+
+// Serial console port assignments.
+const (
+	ConsoleDataPort   = 0x3F8 // write: emit low byte
+	ConsoleStatusPort = 0x3F9 // read: bit 0 = transmitter ready (always 1)
+
+	// ConsoleMMIOBase is the base of the memory-mapped text buffer (think
+	// of the PC's 0xB8000 text VGA). It behaves as device-backed RAM: an
+	// ordinary store that cannot be told apart from a RAM store at
+	// translation time — the essence of the paper's §3.4 problem.
+	ConsoleMMIOBase = 0xB8000
+	ConsoleMMIOSize = 0x1000
+)
+
+// Console is the serial console plus memory-mapped text buffer.
+type Console struct {
+	out  []byte
+	text [ConsoleMMIOSize]byte
+
+	// WriteCount counts device-visible write transactions, in order. Tests
+	// use it to assert that MMIO writes are neither lost nor duplicated by
+	// speculation and rollback.
+	WriteCount uint64
+}
+
+// NewConsole returns a console with empty output.
+func NewConsole() *Console { return &Console{} }
+
+// Output returns everything written to the data port so far.
+func (c *Console) Output() []byte { return c.out }
+
+// OutputString returns the port output as a string.
+func (c *Console) OutputString() string { return string(c.out) }
+
+// Text returns a copy of the memory-mapped text buffer.
+func (c *Console) Text() []byte {
+	t := make([]byte, len(c.text))
+	copy(t, c.text[:])
+	return t
+}
+
+// PortRead implements mem.PortDevice.
+func (c *Console) PortRead(port uint16) uint32 {
+	if port == ConsoleStatusPort {
+		return 1 // always ready
+	}
+	return 0
+}
+
+// PortWrite implements mem.PortDevice.
+func (c *Console) PortWrite(port uint16, v uint32) {
+	if port == ConsoleDataPort {
+		c.out = append(c.out, byte(v))
+		c.WriteCount++
+	}
+}
+
+// MMIORead implements mem.MMIODevice. Reads are idempotent.
+func (c *Console) MMIORead(addr uint32, size int) uint32 {
+	off := addr - ConsoleMMIOBase
+	if int(off)+size > len(c.text) {
+		return 0
+	}
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(c.text[off+uint32(i)]) << (8 * i)
+	}
+	return v
+}
+
+// MMIOWrite implements mem.MMIODevice.
+func (c *Console) MMIOWrite(addr uint32, size int, v uint32) {
+	off := addr - ConsoleMMIOBase
+	if int(off)+size > len(c.text) {
+		return
+	}
+	for i := 0; i < size; i++ {
+		c.text[off+uint32(i)] = byte(v >> (8 * i))
+	}
+	c.WriteCount++
+}

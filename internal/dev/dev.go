@@ -1,0 +1,58 @@
+// Package dev provides the simulated platform devices the workloads talk to:
+// a serial console, an interval timer, a DMA disk controller, and a BLT
+// (block-transfer) graphics engine. Together they exercise the system-level
+// challenges from the paper: port I/O, memory-mapped I/O whose ordering is
+// irrevocable, asynchronous interrupts, and DMA writes that land in pages
+// holding translated code.
+//
+// All device register reads are idempotent (status registers, counters);
+// bulk data moves by DMA. See DESIGN.md for why this matters to the
+// commit/rollback model.
+package dev
+
+// IRQ line assignments.
+const (
+	IRQTimer = 0
+	IRQDisk  = 1
+	IRQBlt   = 2
+
+	// NumIRQLines is the number of interrupt lines the controller routes.
+	NumIRQLines = 16
+)
+
+// IRQController latches interrupt requests from devices until the CPU
+// acknowledges them. It is the platform's (much simplified) PIC: level
+// semantics, fixed priority with line 0 highest.
+type IRQController struct {
+	pending uint32
+}
+
+// Raise latches an interrupt request on the given line.
+func (c *IRQController) Raise(line int) {
+	if line >= 0 && line < NumIRQLines {
+		c.pending |= 1 << line
+	}
+}
+
+// Pending returns the highest-priority pending line, or ok=false if none.
+func (c *IRQController) Pending() (line int, ok bool) {
+	if c.pending == 0 {
+		return 0, false
+	}
+	for i := 0; i < NumIRQLines; i++ {
+		if c.pending&(1<<i) != 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// HasPending reports whether any line is pending, without selecting one.
+func (c *IRQController) HasPending() bool { return c.pending != 0 }
+
+// Ack clears a pending line (the CPU acknowledges on delivery).
+func (c *IRQController) Ack(line int) {
+	if line >= 0 && line < NumIRQLines {
+		c.pending &^= 1 << line
+	}
+}

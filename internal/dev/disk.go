@@ -1,0 +1,91 @@
+package dev
+
+import "cms/internal/mem"
+
+// Disk controller port assignments.
+const (
+	DiskLBAPort    = 0x1F0 // write: starting sector number
+	DiskAddrPort   = 0x1F4 // write: DMA destination guest address
+	DiskCountPort  = 0x1F8 // write: sector count
+	DiskCmdPort    = 0x1FC // write: DiskCmdRead starts a transfer
+	DiskStatusPort = 0x1FD // read: bit 0 = done since last command
+
+	// DiskCmdRead DMA-reads sectors into guest RAM.
+	DiskCmdRead = 1
+
+	// SectorSize is the disk sector size in bytes.
+	SectorSize = 512
+)
+
+// Disk is a DMA disk controller. A read command copies sectors from the
+// backing image straight into guest RAM via bus.DMAWrite — which is exactly
+// the "system paging activity" path of §3.6.1: DMA landing on a page that
+// holds translated code invalidates that page's translations.
+type Disk struct {
+	bus   *mem.Bus
+	irq   *IRQController
+	image []byte
+
+	lba, addr, count uint32
+	done             bool
+
+	// Reads counts completed read commands.
+	Reads uint64
+}
+
+// NewDisk returns a disk with the given backing image.
+func NewDisk(bus *mem.Bus, irq *IRQController, image []byte) *Disk {
+	return &Disk{bus: bus, irq: irq, image: image}
+}
+
+// PortRead implements mem.PortDevice.
+func (d *Disk) PortRead(port uint16) uint32 {
+	switch port {
+	case DiskStatusPort:
+		if d.done {
+			return 1
+		}
+		return 0
+	case DiskLBAPort:
+		return d.lba
+	case DiskAddrPort:
+		return d.addr
+	case DiskCountPort:
+		return d.count
+	}
+	return 0
+}
+
+// PortWrite implements mem.PortDevice.
+func (d *Disk) PortWrite(port uint16, v uint32) {
+	switch port {
+	case DiskLBAPort:
+		d.lba = v
+	case DiskAddrPort:
+		d.addr = v
+	case DiskCountPort:
+		d.count = v
+	case DiskCmdPort:
+		if v == DiskCmdRead {
+			d.doRead()
+		}
+	}
+}
+
+func (d *Disk) doRead() {
+	d.done = false
+	off := int(d.lba) * SectorSize
+	n := int(d.count) * SectorSize
+	if off > len(d.image) {
+		off = len(d.image)
+	}
+	if off+n > len(d.image) {
+		n = len(d.image) - off
+	}
+	if n > 0 {
+		d.bus.DMAWrite(d.addr, d.image[off:off+n])
+	}
+	d.done = true
+	d.Reads++
+	d.irq.Raise(IRQDisk)
+}

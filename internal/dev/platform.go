@@ -1,0 +1,36 @@
+package dev
+
+import "cms/internal/mem"
+
+// Platform bundles the bus and the standard device complement, wired the way
+// every workload in this repository expects: serial console + text MMIO,
+// instruction-driven timer, DMA disk, and BLT engine.
+type Platform struct {
+	Bus     *mem.Bus
+	IRQ     *IRQController
+	Console *Console
+	Timer   *Timer
+	Disk    *Disk
+	Blt     *Blt
+}
+
+// NewPlatform builds a platform with ramSize bytes of RAM and the given disk
+// image (may be nil).
+func NewPlatform(ramSize uint32, diskImage []byte) *Platform {
+	bus := mem.NewBus(ramSize)
+	irq := &IRQController{}
+	p := &Platform{
+		Bus:     bus,
+		IRQ:     irq,
+		Console: NewConsole(),
+		Timer:   NewTimer(irq),
+		Disk:    NewDisk(bus, irq, diskImage),
+		Blt:     NewBlt(bus, irq),
+	}
+	bus.MapPort(ConsoleDataPort, ConsoleStatusPort, p.Console)
+	bus.MapPort(TimerPeriodPort, TimerCountPort, p.Timer)
+	bus.MapPort(DiskLBAPort, DiskStatusPort, p.Disk)
+	bus.MapMMIO(ConsoleMMIOBase, ConsoleMMIOSize, p.Console)
+	bus.MapMMIO(BltMMIOBase, BltMMIOSize, p.Blt)
+	return p
+}

@@ -1,0 +1,53 @@
+package dev
+
+// Timer port assignments.
+const (
+	TimerPeriodPort = 0x40 // write: interval in retired guest instructions (0 = off)
+	TimerCountPort  = 0x41 // read: total ticks fired so far
+)
+
+// Timer is an interval timer driven by retired guest instructions rather
+// than wall-clock time, which keeps every run bit-for-bit deterministic.
+// When the programmed period elapses it raises IRQTimer.
+type Timer struct {
+	irq    *IRQController
+	period uint64
+	accum  uint64
+	Ticks  uint64 // ticks fired (also readable from TimerCountPort)
+}
+
+// NewTimer returns a timer wired to the given interrupt controller.
+func NewTimer(irq *IRQController) *Timer { return &Timer{irq: irq} }
+
+// Advance accounts n newly retired guest instructions, raising the IRQ for
+// each elapsed period.
+func (t *Timer) Advance(n uint64) {
+	if t.period == 0 {
+		return
+	}
+	t.accum += n
+	for t.accum >= t.period {
+		t.accum -= t.period
+		t.Ticks++
+		t.irq.Raise(IRQTimer)
+	}
+}
+
+// PortRead implements mem.PortDevice.
+func (t *Timer) PortRead(port uint16) uint32 {
+	switch port {
+	case TimerPeriodPort:
+		return uint32(t.period)
+	case TimerCountPort:
+		return uint32(t.Ticks)
+	}
+	return 0
+}
+
+// PortWrite implements mem.PortDevice.
+func (t *Timer) PortWrite(port uint16, v uint32) {
+	if port == TimerPeriodPort {
+		t.period = uint64(v)
+		t.accum = 0
+	}
+}

@@ -1,0 +1,112 @@
+package guest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrDecode is wrapped by all decoding failures; a failed decode corresponds
+// to the guest's #UD exception.
+var ErrDecode = errors.New("invalid g86 instruction")
+
+// Decode decodes the instruction starting at code[0], which the caller has
+// fetched from guest address addr. It returns the populated Insn or an error
+// wrapping ErrDecode for unassigned opcodes, bad register encodings, or a
+// truncated buffer.
+func Decode(code []byte, addr uint32) (Insn, error) {
+	if len(code) == 0 {
+		return Insn{}, fmt.Errorf("%w: empty fetch at %#x", ErrDecode, addr)
+	}
+	op := Op(code[0])
+	if !op.Valid() {
+		return Insn{}, fmt.Errorf("%w: opcode %#02x at %#x", ErrDecode, code[0], addr)
+	}
+	in := Insn{Addr: addr, Op: op, Len: EncodedLen(op)}
+	if uint32(len(code)) < in.Len {
+		return Insn{}, fmt.Errorf("%w: truncated %s at %#x", ErrDecode, op.Name(), addr)
+	}
+	body := code[1:in.Len]
+	badReg := func(r Reg) bool { return r >= NumRegs }
+	switch op.Format() {
+	case FmtNone:
+	case FmtR:
+		in.Dst = Reg(body[0] & 0x0F)
+		if badReg(in.Dst) || body[0]&0xF0 != 0 {
+			return Insn{}, fmt.Errorf("%w: bad register byte at %#x", ErrDecode, addr)
+		}
+	case FmtRR:
+		in.Dst, in.Src = Reg(body[0]>>4), Reg(body[0]&0x0F)
+		if badReg(in.Dst) || badReg(in.Src) {
+			return Insn{}, fmt.Errorf("%w: bad register pair at %#x", ErrDecode, addr)
+		}
+	case FmtRI:
+		in.Dst = Reg(body[0])
+		if badReg(in.Dst) {
+			return Insn{}, fmt.Errorf("%w: bad register at %#x", ErrDecode, addr)
+		}
+		in.Imm = binary.LittleEndian.Uint32(body[1:])
+		in.ImmOff = 2
+	case FmtRI8:
+		in.Dst = Reg(body[0])
+		if badReg(in.Dst) {
+			return Insn{}, fmt.Errorf("%w: bad register at %#x", ErrDecode, addr)
+		}
+		in.Imm = uint32(body[1])
+	case FmtRM:
+		in.Dst = Reg(body[0])
+		if badReg(in.Dst) {
+			return Insn{}, fmt.Errorf("%w: bad register at %#x", ErrDecode, addr)
+		}
+		m, ok := decodeMem(body[1:])
+		if !ok {
+			return Insn{}, fmt.Errorf("%w: bad memory operand at %#x", ErrDecode, addr)
+		}
+		in.Mem = m
+	case FmtMR:
+		m, ok := decodeMem(body)
+		if !ok {
+			return Insn{}, fmt.Errorf("%w: bad memory operand at %#x", ErrDecode, addr)
+		}
+		in.Mem = m
+		in.Src = Reg(body[memOperandLen])
+		if badReg(in.Src) {
+			return Insn{}, fmt.Errorf("%w: bad register at %#x", ErrDecode, addr)
+		}
+	case FmtMI:
+		m, ok := decodeMem(body)
+		if !ok {
+			return Insn{}, fmt.Errorf("%w: bad memory operand at %#x", ErrDecode, addr)
+		}
+		in.Mem = m
+		in.Imm = binary.LittleEndian.Uint32(body[memOperandLen:])
+		in.ImmOff = 1 + memOperandLen
+	case FmtM:
+		m, ok := decodeMem(body)
+		if !ok {
+			return Insn{}, fmt.Errorf("%w: bad memory operand at %#x", ErrDecode, addr)
+		}
+		in.Mem = m
+	case FmtI32:
+		in.Imm = binary.LittleEndian.Uint32(body)
+		in.ImmOff = 1
+	case FmtRel:
+		in.Imm = binary.LittleEndian.Uint32(body)
+		in.ImmOff = 1
+	case FmtI8:
+		in.Imm = uint32(body[0])
+	case FmtRPort:
+		in.Dst = Reg(body[0])
+		if badReg(in.Dst) {
+			return Insn{}, fmt.Errorf("%w: bad register at %#x", ErrDecode, addr)
+		}
+		in.Imm = uint32(binary.LittleEndian.Uint16(body[1:]))
+	case FmtPortR:
+		in.Imm = uint32(binary.LittleEndian.Uint16(body))
+		in.Src = Reg(body[2])
+		if badReg(in.Src) {
+			return Insn{}, fmt.Errorf("%w: bad register at %#x", ErrDecode, addr)
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,121 @@
+package guest
+
+import "encoding/binary"
+
+// Mem operand encoding: a flag byte, a register byte, then a 32-bit
+// little-endian displacement.
+//
+//	flag byte:  bit 0 = has base, bit 1 = has index, bits 2-3 = scale log
+//	reg byte:   low nibble = base register, high nibble = index register
+//
+// The displacement is always present, so the encoded size of a memory
+// operand is a fixed 6 bytes and immediate-field offsets are static.
+const memOperandLen = 6
+
+func appendMem(b []byte, m MemOperand) []byte {
+	var flags byte
+	if m.HasBase {
+		flags |= 1
+	}
+	if m.HasIndex {
+		flags |= 2
+	}
+	flags |= (m.ScaleLog & 3) << 2
+	b = append(b, flags, byte(m.Base)|byte(m.Index)<<4)
+	return binary.LittleEndian.AppendUint32(b, m.Disp)
+}
+
+func decodeMem(b []byte) (MemOperand, bool) {
+	if len(b) < memOperandLen {
+		return MemOperand{}, false
+	}
+	flags := b[0]
+	if flags&^0x0F != 0 {
+		return MemOperand{}, false
+	}
+	m := MemOperand{
+		HasBase:  flags&1 != 0,
+		HasIndex: flags&2 != 0,
+		ScaleLog: (flags >> 2) & 3,
+		Base:     Reg(b[1] & 0x0F),
+		Index:    Reg(b[1] >> 4),
+	}
+	if m.Base >= NumRegs || m.Index >= NumRegs {
+		return MemOperand{}, false
+	}
+	m.Disp = binary.LittleEndian.Uint32(b[2:])
+	return m, true
+}
+
+// Encode appends the binary encoding of the instruction described by op and
+// operands to b and returns the extended slice. The Addr/Len/ImmOff fields of
+// in are ignored; callers use Decode to recover them.
+func Encode(b []byte, in Insn) []byte {
+	b = append(b, byte(in.Op))
+	switch in.Op.Format() {
+	case FmtNone:
+	case FmtR:
+		b = append(b, byte(in.Dst))
+	case FmtRR:
+		b = append(b, byte(in.Dst)<<4|byte(in.Src))
+	case FmtRI:
+		b = append(b, byte(in.Dst))
+		b = binary.LittleEndian.AppendUint32(b, in.Imm)
+	case FmtRI8:
+		b = append(b, byte(in.Dst), byte(in.Imm))
+	case FmtRM:
+		b = append(b, byte(in.Dst))
+		b = appendMem(b, in.Mem)
+	case FmtMR:
+		b = appendMem(b, in.Mem)
+		b = append(b, byte(in.Src))
+	case FmtMI:
+		b = appendMem(b, in.Mem)
+		b = binary.LittleEndian.AppendUint32(b, in.Imm)
+	case FmtM:
+		b = appendMem(b, in.Mem)
+	case FmtI32, FmtRel:
+		b = binary.LittleEndian.AppendUint32(b, in.Imm)
+	case FmtI8:
+		b = append(b, byte(in.Imm))
+	case FmtRPort:
+		b = append(b, byte(in.Dst))
+		b = binary.LittleEndian.AppendUint16(b, uint16(in.Imm))
+	case FmtPortR:
+		b = binary.LittleEndian.AppendUint16(b, uint16(in.Imm))
+		b = append(b, byte(in.Src))
+	}
+	return b
+}
+
+// EncodedLen returns the encoded length in bytes of an instruction with the
+// given opcode.
+func EncodedLen(op Op) uint32 {
+	n := uint32(1)
+	switch op.Format() {
+	case FmtNone:
+	case FmtR:
+		n++
+	case FmtRR:
+		n++
+	case FmtRI:
+		n += 1 + 4
+	case FmtRI8:
+		n += 2
+	case FmtRM:
+		n += 1 + memOperandLen
+	case FmtMR:
+		n += memOperandLen + 1
+	case FmtMI:
+		n += memOperandLen + 4
+	case FmtM:
+		n += memOperandLen
+	case FmtI32, FmtRel:
+		n += 4
+	case FmtI8:
+		n++
+	case FmtRPort, FmtPortR:
+		n += 3
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package guest
+
+import "math/bits"
+
+// This file defines the g86 flag semantics in one place. Both the
+// interpreter and the VLIW host's flag-computing atoms call these helpers,
+// so the two execution engines agree bit-for-bit by construction — the
+// property the paper's recovery model depends on (after a rollback, the
+// interpreter must reproduce exactly the state the translation would have
+// committed).
+//
+// Where x86 leaves a flag undefined (shifts by more than 1, multiplies),
+// g86 gives it the deterministic value documented on each function.
+
+func parity(res uint32) uint32 {
+	if bits.OnesCount8(uint8(res))%2 == 0 {
+		return FlagPF
+	}
+	return 0
+}
+
+func szp(res uint32) uint32 {
+	f := parity(res)
+	if res == 0 {
+		f |= FlagZF
+	}
+	if int32(res) < 0 {
+		f |= FlagSF
+	}
+	return f
+}
+
+// mergeArith replaces the arithmetic flags of old with new, preserving IF
+// and the always-set bit.
+func mergeArith(old, new uint32) uint32 {
+	return old&^ArithFlags | new&ArithFlags | FlagsAlways
+}
+
+// FlagsLogic returns the flags of a logical result: CF=OF=0, SZP from res.
+func FlagsLogic(old, res uint32) uint32 {
+	return mergeArith(old, szp(res))
+}
+
+// FlagsAdd computes a+b and the resulting flags.
+func FlagsAdd(old, a, b uint32) (uint32, uint32) {
+	res := a + b
+	f := szp(res)
+	if res < a {
+		f |= FlagCF
+	}
+	// Signed overflow: operands share a sign the result does not.
+	if (a^b)&0x80000000 == 0 && (a^res)&0x80000000 != 0 {
+		f |= FlagOF
+	}
+	return res, mergeArith(old, f)
+}
+
+// FlagsSub computes a-b and the resulting flags (CF = borrow).
+func FlagsSub(old, a, b uint32) (uint32, uint32) {
+	res := a - b
+	f := szp(res)
+	if a < b {
+		f |= FlagCF
+	}
+	if (a^b)&0x80000000 != 0 && (a^res)&0x80000000 != 0 {
+		f |= FlagOF
+	}
+	return res, mergeArith(old, f)
+}
+
+// FlagsAdc computes a+b+CF(old) with full carry/overflow semantics, as x86
+// ADC does.
+func FlagsAdc(old, a, b uint32) (uint32, uint32) {
+	cin := old & FlagCF
+	wide := uint64(a) + uint64(b) + uint64(cin)
+	res := uint32(wide)
+	f := szp(res)
+	if wide > 0xFFFFFFFF {
+		f |= FlagCF
+	}
+	if (a^b)&0x80000000 == 0 && (a^res)&0x80000000 != 0 {
+		f |= FlagOF
+	}
+	return res, mergeArith(old, f)
+}
+
+// FlagsSbb computes a-b-CF(old), as x86 SBB does.
+func FlagsSbb(old, a, b uint32) (uint32, uint32) {
+	cin := uint64(old & FlagCF)
+	res := uint32(uint64(a) - uint64(b) - cin)
+	f := szp(res)
+	if uint64(a) < uint64(b)+cin {
+		f |= FlagCF
+	}
+	if (a^b)&0x80000000 != 0 && (a^res)&0x80000000 != 0 {
+		f |= FlagOF
+	}
+	return res, mergeArith(old, f)
+}
+
+// FlagsInc computes a+1 preserving CF, as x86 INC does.
+func FlagsInc(old, a uint32) (uint32, uint32) {
+	res, f := FlagsAdd(old, a, 1)
+	return res, f&^FlagCF | old&FlagCF
+}
+
+// FlagsDec computes a-1 preserving CF, as x86 DEC does.
+func FlagsDec(old, a uint32) (uint32, uint32) {
+	res, f := FlagsSub(old, a, 1)
+	return res, f&^FlagCF | old&FlagCF
+}
+
+// FlagsNeg computes 0-a; CF is set iff a is nonzero.
+func FlagsNeg(old, a uint32) (uint32, uint32) {
+	return FlagsSub(old, 0, a)
+}
+
+// FlagsShl computes a<<n (n taken mod 32). n==0 leaves flags untouched.
+// CF is the last bit shifted out. OF (defined for every n in g86, unlike
+// x86 which defines it only for n==1) is MSB(result) XOR CF.
+func FlagsShl(old, a, n uint32) (uint32, uint32) {
+	n &= 31
+	if n == 0 {
+		return a, old
+	}
+	res := a << n
+	f := szp(res)
+	if a&(1<<(32-n)) != 0 {
+		f |= FlagCF
+	}
+	if (res>>31)&1 != (f>>0)&1 { // MSB(result) != CF
+		f |= FlagOF
+	}
+	return res, mergeArith(old, f)
+}
+
+// FlagsShr computes a>>n logically (n taken mod 32). n==0 leaves flags
+// untouched. CF is the last bit shifted out; OF is MSB of the original
+// operand (matching x86's n==1 definition, applied to every n).
+func FlagsShr(old, a, n uint32) (uint32, uint32) {
+	n &= 31
+	if n == 0 {
+		return a, old
+	}
+	res := a >> n
+	f := szp(res)
+	if a&(1<<(n-1)) != 0 {
+		f |= FlagCF
+	}
+	if a&0x80000000 != 0 {
+		f |= FlagOF
+	}
+	return res, mergeArith(old, f)
+}
+
+// FlagsSar computes a>>n arithmetically (n taken mod 32). n==0 leaves flags
+// untouched. CF is the last bit shifted out; OF is always 0, as for x86
+// SAR by 1.
+func FlagsSar(old, a, n uint32) (uint32, uint32) {
+	n &= 31
+	if n == 0 {
+		return a, old
+	}
+	res := uint32(int32(a) >> n)
+	f := szp(res)
+	if a&(1<<(n-1)) != 0 {
+		f |= FlagCF
+	}
+	return res, mergeArith(old, f)
+}
+
+// FlagsImul computes the signed 32x32 product. CF and OF are set when the
+// product does not fit in 32 bits; SZP come from the low 32 bits (defined
+// in g86, undefined in x86).
+func FlagsImul(old, a, b uint32) (uint32, uint32) {
+	full := int64(int32(a)) * int64(int32(b))
+	res := uint32(full)
+	f := szp(res)
+	if full != int64(int32(res)) {
+		f |= FlagCF | FlagOF
+	}
+	return res, mergeArith(old, f)
+}
+
+// FlagsMul computes the unsigned 32x32 -> 64 product, returning low and high
+// halves. CF and OF are set when the high half is nonzero; SZP come from the
+// low half.
+func FlagsMul(old, a, b uint32) (lo, hi, flags uint32) {
+	hi, lo = bits.Mul32(a, b)
+	f := szp(lo)
+	if hi != 0 {
+		f |= FlagCF | FlagOF
+	}
+	return lo, hi, mergeArith(old, f)
+}
+
+// DivU performs the unsigned 64/32 divide of DIV: (hi:lo)/d. ok is false on
+// divide-by-zero or quotient overflow (the #DE conditions). Flags are
+// unchanged by DIV.
+func DivU(hi, lo, d uint32) (q, r uint32, ok bool) {
+	if d == 0 || hi >= d {
+		return 0, 0, false
+	}
+	q, r = bits.Div32(hi, lo, d)
+	return q, r, true
+}
+
+// DivS performs the signed 64/32 divide of IDIV. ok is false on
+// divide-by-zero or quotient overflow.
+func DivS(hi, lo, d uint32) (q, r uint32, ok bool) {
+	if d == 0 {
+		return 0, 0, false
+	}
+	n := int64(hi)<<32 | int64(lo)
+	dd := int64(int32(d))
+	quo := n / dd
+	rem := n % dd
+	if quo != int64(int32(quo)) {
+		return 0, 0, false
+	}
+	return uint32(quo), uint32(rem), true
+}

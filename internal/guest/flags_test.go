@@ -1,0 +1,339 @@
+package guest
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlagsAdd(t *testing.T) {
+	cases := []struct {
+		a, b, res      uint32
+		cf, of, zf, sf bool
+	}{
+		{1, 2, 3, false, false, false, false},
+		{0xFFFFFFFF, 1, 0, true, false, true, false},
+		{0x7FFFFFFF, 1, 0x80000000, false, true, false, true},
+		{0x80000000, 0x80000000, 0, true, true, true, false},
+		{0, 0, 0, false, false, true, false},
+	}
+	for _, c := range cases {
+		res, f := FlagsAdd(0, c.a, c.b)
+		if res != c.res {
+			t.Errorf("add(%#x,%#x) = %#x, want %#x", c.a, c.b, res, c.res)
+		}
+		check := func(name string, bit uint32, want bool) {
+			if (f&bit != 0) != want {
+				t.Errorf("add(%#x,%#x): %s = %v, want %v", c.a, c.b, name, !want, want)
+			}
+		}
+		check("CF", FlagCF, c.cf)
+		check("OF", FlagOF, c.of)
+		check("ZF", FlagZF, c.zf)
+		check("SF", FlagSF, c.sf)
+	}
+}
+
+func TestFlagsSub(t *testing.T) {
+	// 5 - 7: borrow, negative.
+	res, f := FlagsSub(0, 5, 7)
+	if res != 0xFFFFFFFE || f&FlagCF == 0 || f&FlagSF == 0 || f&FlagZF != 0 {
+		t.Errorf("sub(5,7) = %#x flags %#x", res, f)
+	}
+	// Equal operands: ZF, no CF.
+	res, f = FlagsSub(0, 9, 9)
+	if res != 0 || f&FlagZF == 0 || f&FlagCF != 0 {
+		t.Errorf("sub(9,9) = %#x flags %#x", res, f)
+	}
+	// Signed overflow: INT_MIN - 1.
+	_, f = FlagsSub(0, 0x80000000, 1)
+	if f&FlagOF == 0 {
+		t.Error("INT_MIN-1 must overflow")
+	}
+}
+
+func TestFlagsIncDecPreserveCF(t *testing.T) {
+	_, f := FlagsInc(FlagCF, 41)
+	if f&FlagCF == 0 {
+		t.Error("INC must preserve CF=1")
+	}
+	_, f = FlagsDec(0, 1)
+	if f&FlagCF != 0 {
+		t.Error("DEC must preserve CF=0")
+	}
+	if f&FlagZF == 0 {
+		t.Error("DEC 1 -> ZF")
+	}
+	// INC 0x7FFFFFFF overflows.
+	_, f = FlagsInc(0, 0x7FFFFFFF)
+	if f&FlagOF == 0 {
+		t.Error("INC INT_MAX must set OF")
+	}
+}
+
+func TestFlagsNeg(t *testing.T) {
+	res, f := FlagsNeg(0, 5)
+	if res != 0xFFFFFFFB || f&FlagCF == 0 {
+		t.Errorf("neg(5) = %#x flags %#x", res, f)
+	}
+	res, f = FlagsNeg(0, 0)
+	if res != 0 || f&FlagCF != 0 || f&FlagZF == 0 {
+		t.Errorf("neg(0) = %#x flags %#x", res, f)
+	}
+}
+
+func TestFlagsLogic(t *testing.T) {
+	f := FlagsLogic(FlagCF|FlagOF, 0)
+	if f&FlagCF != 0 || f&FlagOF != 0 || f&FlagZF == 0 {
+		t.Errorf("logic(0) flags %#x", f)
+	}
+	f = FlagsLogic(0, 0x80000000)
+	if f&FlagSF == 0 {
+		t.Error("logic negative must set SF")
+	}
+}
+
+func TestParityFlag(t *testing.T) {
+	// 0x03 has two set bits in the low byte: even parity, PF set.
+	f := FlagsLogic(0, 0x03)
+	if f&FlagPF == 0 {
+		t.Error("PF(0x03) must be set")
+	}
+	// 0x01: odd parity.
+	f = FlagsLogic(0, 0x01)
+	if f&FlagPF != 0 {
+		t.Error("PF(0x01) must be clear")
+	}
+	// Only the low byte counts.
+	f = FlagsLogic(0, 0xFF00)
+	if f&FlagPF == 0 {
+		t.Error("PF considers only the low byte")
+	}
+}
+
+func TestFlagsShl(t *testing.T) {
+	res, f := FlagsShl(0, 0x80000001, 1)
+	if res != 2 || f&FlagCF == 0 {
+		t.Errorf("shl: res %#x flags %#x", res, f)
+	}
+	// Shift by zero leaves flags alone.
+	res, f = FlagsShl(FlagZF|FlagCF, 7, 0)
+	if res != 7 || f != FlagZF|FlagCF {
+		t.Errorf("shl by 0: res %#x flags %#x", res, f)
+	}
+	// Count is taken mod 32.
+	res, _ = FlagsShl(0, 1, 33)
+	if res != 2 {
+		t.Errorf("shl by 33 = %#x, want 2", res)
+	}
+}
+
+func TestFlagsShrSar(t *testing.T) {
+	res, f := FlagsShr(0, 0x80000003, 1)
+	if res != 0x40000001 || f&FlagCF == 0 || f&FlagOF == 0 {
+		t.Errorf("shr: res %#x flags %#x", res, f)
+	}
+	res, f = FlagsSar(0, 0x80000000, 4)
+	if res != 0xF8000000 || f&FlagSF == 0 || f&FlagOF != 0 {
+		t.Errorf("sar: res %#x flags %#x", res, f)
+	}
+	// SAR of a positive value behaves like SHR.
+	res, _ = FlagsSar(0, 64, 3)
+	if res != 8 {
+		t.Errorf("sar positive = %d", res)
+	}
+}
+
+func TestFlagsImul(t *testing.T) {
+	res, f := FlagsImul(0, 6, 7)
+	if res != 42 || f&(FlagCF|FlagOF) != 0 {
+		t.Errorf("imul small: %#x flags %#x", res, f)
+	}
+	_, f = FlagsImul(0, 0x10000, 0x10000)
+	if f&FlagCF == 0 || f&FlagOF == 0 {
+		t.Error("imul overflow must set CF/OF")
+	}
+	res, f = FlagsImul(0, 0xFFFFFFFF, 5) // -1 * 5 = -5, fits
+	if res != 0xFFFFFFFB || f&FlagCF != 0 {
+		t.Errorf("imul signed: %#x flags %#x", res, f)
+	}
+}
+
+func TestFlagsMul(t *testing.T) {
+	lo, hi, f := FlagsMul(0, 0x10000, 0x10000)
+	if lo != 0 || hi != 1 || f&FlagCF == 0 {
+		t.Errorf("mul: lo %#x hi %#x flags %#x", lo, hi, f)
+	}
+	lo, hi, f = FlagsMul(0, 3, 4)
+	if lo != 12 || hi != 0 || f&FlagCF != 0 {
+		t.Errorf("mul small: lo %#x hi %#x flags %#x", lo, hi, f)
+	}
+}
+
+func TestDivU(t *testing.T) {
+	q, r, ok := DivU(0, 17, 5)
+	if !ok || q != 3 || r != 2 {
+		t.Errorf("17/5 = %d r %d ok %v", q, r, ok)
+	}
+	if _, _, ok := DivU(0, 1, 0); ok {
+		t.Error("divide by zero must fail")
+	}
+	if _, _, ok := DivU(5, 0, 4); ok {
+		t.Error("quotient overflow must fail")
+	}
+	// Largest non-overflowing case.
+	q, _, ok = DivU(4, 0xFFFFFFFF, 5)
+	if !ok || q != 0xFFFFFFFF {
+		t.Errorf("big divide: q=%#x ok=%v", q, ok)
+	}
+}
+
+func TestDivS(t *testing.T) {
+	q, r, ok := DivS(0xFFFFFFFF, uint32(-17&0xFFFFFFFF), 5)
+	if !ok || int32(q) != -3 || int32(r) != -2 {
+		t.Errorf("-17/5 = %d r %d ok %v", int32(q), int32(r), ok)
+	}
+	if _, _, ok := DivS(0, 1, 0); ok {
+		t.Error("idiv by zero must fail")
+	}
+	// INT_MIN / -1 overflows.
+	if _, _, ok := DivS(0xFFFFFFFF, 0x80000000, 0xFFFFFFFF); ok {
+		t.Error("INT_MIN/-1 must fail")
+	}
+	q, r, ok = DivS(0, 100, 7)
+	if !ok || q != 14 || r != 2 {
+		t.Errorf("100/7: q=%d r=%d", q, r)
+	}
+}
+
+// Properties tying the flag helpers to their arithmetic meaning.
+func TestFlagPropertiesQuick(t *testing.T) {
+	addSub := func(a, b uint32) bool {
+		res, f := FlagsAdd(0, a, b)
+		if res != a+b {
+			return false
+		}
+		if (f&FlagZF != 0) != (res == 0) {
+			return false
+		}
+		if (f&FlagSF != 0) != (int32(res) < 0) {
+			return false
+		}
+		if (f&FlagCF != 0) != (uint64(a)+uint64(b) > 0xFFFFFFFF) {
+			return false
+		}
+		sres, sf := FlagsSub(0, a, b)
+		if sres != a-b {
+			return false
+		}
+		if (sf&FlagCF != 0) != (a < b) {
+			return false
+		}
+		// OF from signed arithmetic.
+		if (sf&FlagOF != 0) != (int64(int32(a))-int64(int32(b)) != int64(int32(sres))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(addSub, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+
+	// Condition codes match signed/unsigned comparison after CMP.
+	cmp := func(a, b uint32) bool {
+		_, f := FlagsSub(0, a, b)
+		if CondB.Eval(f) != (a < b) {
+			return false
+		}
+		if CondBE.Eval(f) != (a <= b) {
+			return false
+		}
+		if CondL.Eval(f) != (int32(a) < int32(b)) {
+			return false
+		}
+		if CondLE.Eval(f) != (int32(a) <= int32(b)) {
+			return false
+		}
+		if CondE.Eval(f) != (a == b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(cmp, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+
+	// IF and the always-bit survive arithmetic.
+	preserve := func(a, b uint32) bool {
+		_, f := FlagsAdd(FlagIF, a, b)
+		return f&FlagIF != 0 && f&FlagsAlways != 0
+	}
+	if err := quick.Check(preserve, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagsAdc(t *testing.T) {
+	// No carry in: behaves like ADD.
+	res, f := FlagsAdc(0, 5, 7)
+	if res != 12 || f&FlagCF != 0 {
+		t.Errorf("adc no-cin: %d flags %#x", res, f)
+	}
+	// Carry in adds one.
+	res, f = FlagsAdc(FlagCF, 5, 7)
+	if res != 13 {
+		t.Errorf("adc cin: %d", res)
+	}
+	// Carry out through the carry-in alone: 0xFFFFFFFF + 0 + 1.
+	res, f = FlagsAdc(FlagCF, 0xFFFFFFFF, 0)
+	if res != 0 || f&FlagCF == 0 || f&FlagZF == 0 {
+		t.Errorf("adc wrap: %#x flags %#x", res, f)
+	}
+	// Signed overflow via carry-in: INT_MAX + 0 + 1.
+	_, f = FlagsAdc(FlagCF, 0x7FFFFFFF, 0)
+	if f&FlagOF == 0 {
+		t.Error("adc INT_MAX+1 must overflow")
+	}
+}
+
+func TestFlagsSbb(t *testing.T) {
+	res, f := FlagsSbb(0, 9, 4)
+	if res != 5 || f&FlagCF != 0 {
+		t.Errorf("sbb no-bin: %d flags %#x", res, f)
+	}
+	res, f = FlagsSbb(FlagCF, 9, 4)
+	if res != 4 {
+		t.Errorf("sbb bin: %d", res)
+	}
+	// Borrow through the borrow-in alone: 0 - 0 - 1.
+	res, f = FlagsSbb(FlagCF, 0, 0)
+	if res != 0xFFFFFFFF || f&FlagCF == 0 {
+		t.Errorf("sbb wrap: %#x flags %#x", res, f)
+	}
+}
+
+// Property: a 64-bit add decomposed into ADD + ADC agrees with native
+// 64-bit arithmetic.
+func TestAdcChainProperty(t *testing.T) {
+	f := func(aLo, aHi, bLo, bHi uint32) bool {
+		lo, fl := FlagsAdd(0, aLo, bLo)
+		hi, _ := FlagsAdc(fl, aHi, bHi)
+		want := (uint64(aHi)<<32 | uint64(aLo)) + (uint64(bHi)<<32 | uint64(bLo))
+		return lo == uint32(want) && hi == uint32(want>>32)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: 64-bit subtract via SUB + SBB.
+func TestSbbChainProperty(t *testing.T) {
+	f := func(aLo, aHi, bLo, bHi uint32) bool {
+		lo, fl := FlagsSub(0, aLo, bLo)
+		hi, _ := FlagsSbb(fl, aHi, bHi)
+		want := (uint64(aHi)<<32 | uint64(aLo)) - (uint64(bHi)<<32 | uint64(bLo))
+		return lo == uint32(want) && hi == uint32(want>>32)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

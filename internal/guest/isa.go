@@ -1,0 +1,533 @@
+// Package guest defines g86, the guest instruction-set architecture emulated
+// by this reproduction of the Transmeta Code Morphing Software.
+//
+// g86 is a 32-bit, x86-inspired CISC ISA. It deliberately keeps the
+// properties that make full-system x86 emulation hard — and that the CGO 2003
+// paper is about:
+//
+//   - every ALU instruction computes condition flags (so dead-flag
+//     elimination and flag-precise exits matter),
+//   - variable-length instructions living on ordinary writable pages
+//     (so self-modifying code and mixed code-and-data pages arise),
+//   - precise faults (#DE, #UD, #PF, #GP) and asynchronous interrupts
+//     delivered at instruction boundaries,
+//   - port I/O (IN/OUT) and memory-mapped I/O that is indistinguishable
+//     from a plain load or store at translation time.
+//
+// The package defines the architectural register file, the EFLAGS bits, the
+// binary encoding, and a decoder. Encoding helpers used by the assembler
+// live in encode.go; the decoder in decode.go.
+package guest
+
+import "fmt"
+
+// Reg names an architectural general-purpose register.
+type Reg uint8
+
+// The eight g86 general-purpose registers. The numbering mirrors x86 so that
+// ESP/EBP keep their conventional stack roles.
+const (
+	EAX Reg = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+
+	// NumRegs is the number of architectural general-purpose registers.
+	NumRegs = 8
+)
+
+var regNames = [NumRegs]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+
+// String returns the conventional lower-case register mnemonic.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r?%d", uint8(r))
+}
+
+// RegByName maps a mnemonic such as "eax" to its Reg. The boolean reports
+// whether the name was recognized.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	return 0, false
+}
+
+// EFLAGS bits. Bit positions follow x86 so traces read familiarly.
+const (
+	FlagCF uint32 = 1 << 0  // carry
+	FlagPF uint32 = 1 << 2  // parity (of low result byte)
+	FlagZF uint32 = 1 << 6  // zero
+	FlagSF uint32 = 1 << 7  // sign
+	FlagIF uint32 = 1 << 9  // interrupt enable
+	FlagOF uint32 = 1 << 11 // signed overflow
+
+	// FlagsAlways is OR-ed into every EFLAGS value, mirroring x86's
+	// always-set bit 1. It gives flag images a recognizable shape in dumps.
+	FlagsAlways uint32 = 1 << 1
+
+	// ArithFlags are the flags written by ordinary ALU instructions.
+	ArithFlags = FlagCF | FlagPF | FlagZF | FlagSF | FlagOF
+)
+
+// Vector numbers for architectural exceptions, mirroring x86 where a
+// counterpart exists.
+const (
+	VecDE = 0  // divide error
+	VecUD = 6  // invalid opcode
+	VecNP = 11 // segment/page not present (fetch from unmapped page)
+	VecGP = 13 // general protection
+	VecPF = 14 // page fault (data access violation)
+
+	// VecIRQBase is the vector of external interrupt line 0; line n maps to
+	// vector VecIRQBase+n.
+	VecIRQBase = 32
+
+	// NumVectors is the size of the interrupt vector table.
+	NumVectors = 256
+)
+
+// IVTBase is the physical address of the interrupt vector table: NumVectors
+// 32-bit little-endian handler addresses. A zero entry means "no handler";
+// delivering through a zero entry halts the machine with an error.
+const IVTBase = 0x0000_0100
+
+// Cond is a condition code for Jcc instructions. The numbering mirrors the
+// x86 condition nibble.
+type Cond uint8
+
+// Condition codes, in x86 nibble order.
+const (
+	CondO  Cond = 0x0 // overflow
+	CondNO Cond = 0x1
+	CondB  Cond = 0x2 // below (CF)
+	CondAE Cond = 0x3
+	CondE  Cond = 0x4 // equal (ZF)
+	CondNE Cond = 0x5
+	CondBE Cond = 0x6 // below or equal (CF|ZF)
+	CondA  Cond = 0x7
+	CondS  Cond = 0x8 // sign
+	CondNS Cond = 0x9
+	CondP  Cond = 0xA // parity
+	CondNP Cond = 0xB
+	CondL  Cond = 0xC // less (SF!=OF)
+	CondGE Cond = 0xD
+	CondLE Cond = 0xE // less or equal (ZF or SF!=OF)
+	CondG  Cond = 0xF
+)
+
+var condNames = [16]string{"o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le", "g"}
+
+// String returns the condition mnemonic suffix ("e", "ne", ...).
+func (c Cond) String() string { return condNames[c&0xF] }
+
+// CondByName maps a suffix such as "ne" to its Cond.
+func CondByName(name string) (Cond, bool) {
+	for i, n := range condNames {
+		if n == name {
+			return Cond(i), true
+		}
+	}
+	// Accept common x86 aliases.
+	switch name {
+	case "z":
+		return CondE, true
+	case "nz":
+		return CondNE, true
+	case "c":
+		return CondB, true
+	case "nc":
+		return CondAE, true
+	}
+	return 0, false
+}
+
+// Eval reports whether the condition holds under the given EFLAGS image.
+func (c Cond) Eval(flags uint32) bool {
+	cf := flags&FlagCF != 0
+	zf := flags&FlagZF != 0
+	sf := flags&FlagSF != 0
+	of := flags&FlagOF != 0
+	pf := flags&FlagPF != 0
+	var v bool
+	switch c &^ 1 {
+	case CondO:
+		v = of
+	case CondB:
+		v = cf
+	case CondE:
+		v = zf
+	case CondBE:
+		v = cf || zf
+	case CondS:
+		v = sf
+	case CondP:
+		v = pf
+	case CondL:
+		v = sf != of
+	case CondLE:
+		v = zf || sf != of
+	}
+	if c&1 != 0 {
+		v = !v
+	}
+	return v
+}
+
+// Op is a g86 opcode byte.
+type Op uint8
+
+// Opcode assignments. Each opcode implies a fixed operand layout (see the
+// Fmt* constants and the decoder); there are no prefixes.
+const (
+	OpNOP Op = 0x00
+	OpHLT Op = 0x01
+	OpCLI Op = 0x02
+	OpSTI Op = 0x03
+
+	OpMOVrr  Op = 0x10 // mov r, r
+	OpMOVri  Op = 0x11 // mov r, imm32
+	OpMOVrm  Op = 0x12 // mov r, [mem]     (32-bit load)
+	OpMOVmr  Op = 0x13 // mov [mem], r     (32-bit store)
+	OpMOVmi  Op = 0x14 // mov [mem], imm32
+	OpMOVBrm Op = 0x15 // movb r, [mem]    (zero-extending byte load)
+	OpMOVBmr Op = 0x16 // movb [mem], r    (byte store of low 8 bits)
+	OpLEA    Op = 0x17 // lea r, [mem]
+	OpMOVSXB Op = 0x18 // movsx r, [mem]: sign-extending byte load
+
+	OpADDrr  Op = 0x20
+	OpADDri  Op = 0x21
+	OpADDrm  Op = 0x22
+	OpADDmr  Op = 0x23 // add [mem], r (read-modify-write)
+	OpSUBrr  Op = 0x24
+	OpSUBri  Op = 0x25
+	OpSUBrm  Op = 0x26
+	OpSUBmr  Op = 0x27
+	OpANDrr  Op = 0x28
+	OpANDri  Op = 0x29
+	OpANDrm  Op = 0x2A
+	OpANDmr  Op = 0x2B
+	OpORrr   Op = 0x2C
+	OpORri   Op = 0x2D
+	OpORrm   Op = 0x2E
+	OpORmr   Op = 0x2F
+	OpXORrr  Op = 0x30
+	OpXORri  Op = 0x31
+	OpXORrm  Op = 0x32
+	OpXORmr  Op = 0x33
+	OpCMPrr  Op = 0x34
+	OpCMPri  Op = 0x35
+	OpCMPrm  Op = 0x36
+	OpCMPmi  Op = 0x37 // cmp [mem], imm32
+	OpTESTrr Op = 0x38
+	OpTESTri Op = 0x39
+	OpADCrr  Op = 0x3A // add with carry
+	OpADCri  Op = 0x3B
+	OpSBBrr  Op = 0x3C // subtract with borrow
+	OpSBBri  Op = 0x3D
+	OpXCHG   Op = 0x3E // xchg r, r (flags unaffected)
+	OpCDQ    Op = 0x3F // sign-extend EAX into EDX (flags unaffected)
+
+	OpINC Op = 0x40 // inc r (CF preserved)
+	OpDEC Op = 0x41 // dec r (CF preserved)
+	OpNEG Op = 0x42
+	OpNOT Op = 0x43 // flags unaffected
+
+	OpSHLri Op = 0x44 // shl r, imm8
+	OpSHRri Op = 0x45
+	OpSARri Op = 0x46
+	OpSHLrc Op = 0x47 // shl r, cl
+	OpSHRrc Op = 0x48
+	OpSARrc Op = 0x49
+
+	OpIMULrr Op = 0x4A // imul r, r (low 32 bits; OF/CF on overflow)
+	OpIMULri Op = 0x4B // imul r, imm32
+	OpMUL    Op = 0x4C // mul r: EDX:EAX = EAX * r (unsigned)
+	OpDIV    Op = 0x4D // div r: EAX = EDX:EAX / r, EDX = remainder; #DE on 0 or overflow
+	OpIDIV   Op = 0x4E // idiv r: signed form of DIV
+
+	OpPUSHr Op = 0x50
+	OpPUSHi Op = 0x51
+	OpPOPr  Op = 0x52
+	OpPUSHF Op = 0x53
+	OpPOPF  Op = 0x54
+
+	OpJMPrel  Op = 0x60 // jmp rel32 (relative to next instruction)
+	OpJMPr    Op = 0x61 // jmp r
+	OpJMPm    Op = 0x62 // jmp [mem]
+	OpCALLrel Op = 0x63
+	OpCALLr   Op = 0x64
+	OpRET     Op = 0x65
+
+	// 0x70..0x7F: Jcc rel32, condition in the low nibble.
+	OpJccBase Op = 0x70
+
+	OpIN   Op = 0x90 // in r, imm16     (32-bit port read)
+	OpOUT  Op = 0x91 // out imm16, r    (32-bit port write)
+	OpINT  Op = 0x92 // int imm8
+	OpIRET Op = 0x93
+)
+
+// Fmt describes the operand layout of an opcode.
+type Fmt uint8
+
+// Operand layouts. The byte counts below exclude the opcode byte itself.
+const (
+	FmtNone  Fmt = iota // no operands
+	FmtR                // 1 byte: register in low nibble
+	FmtRR               // 1 byte: dst in high nibble, src in low nibble
+	FmtRI               // 1 byte register + imm32
+	FmtRI8              // 1 byte register + imm8
+	FmtRM               // 1 byte register + mem operand
+	FmtMR               // mem operand + 1 byte register
+	FmtMI               // mem operand + imm32
+	FmtM                // mem operand only
+	FmtI32              // imm32 only
+	FmtRel              // rel32 only
+	FmtRPort            // 1 byte register + imm16 port
+	FmtPortR            // imm16 port + 1 byte register
+	FmtI8               // imm8 only
+)
+
+// opInfo records static properties of each opcode.
+type opInfo struct {
+	name  string
+	fmt   Fmt
+	valid bool
+}
+
+var opTable [256]opInfo
+
+func def(op Op, name string, f Fmt) {
+	opTable[op] = opInfo{name: name, fmt: f, valid: true}
+}
+
+func init() {
+	def(OpNOP, "nop", FmtNone)
+	def(OpHLT, "hlt", FmtNone)
+	def(OpCLI, "cli", FmtNone)
+	def(OpSTI, "sti", FmtNone)
+
+	def(OpMOVrr, "mov", FmtRR)
+	def(OpMOVri, "mov", FmtRI)
+	def(OpMOVrm, "mov", FmtRM)
+	def(OpMOVmr, "mov", FmtMR)
+	def(OpMOVmi, "mov", FmtMI)
+	def(OpMOVBrm, "movb", FmtRM)
+	def(OpMOVBmr, "movb", FmtMR)
+	def(OpLEA, "lea", FmtRM)
+	def(OpMOVSXB, "movsx", FmtRM)
+
+	for _, a := range []struct {
+		base Op
+		name string
+	}{
+		{OpADDrr, "add"}, {OpSUBrr, "sub"}, {OpANDrr, "and"},
+		{OpORrr, "or"}, {OpXORrr, "xor"},
+	} {
+		def(a.base, a.name, FmtRR)
+		def(a.base+1, a.name, FmtRI)
+		def(a.base+2, a.name, FmtRM)
+		def(a.base+3, a.name, FmtMR)
+	}
+	def(OpCMPrr, "cmp", FmtRR)
+	def(OpCMPri, "cmp", FmtRI)
+	def(OpCMPrm, "cmp", FmtRM)
+	def(OpCMPmi, "cmp", FmtMI)
+	def(OpTESTrr, "test", FmtRR)
+	def(OpTESTri, "test", FmtRI)
+	def(OpADCrr, "adc", FmtRR)
+	def(OpADCri, "adc", FmtRI)
+	def(OpSBBrr, "sbb", FmtRR)
+	def(OpSBBri, "sbb", FmtRI)
+	def(OpXCHG, "xchg", FmtRR)
+	def(OpCDQ, "cdq", FmtNone)
+
+	def(OpINC, "inc", FmtR)
+	def(OpDEC, "dec", FmtR)
+	def(OpNEG, "neg", FmtR)
+	def(OpNOT, "not", FmtR)
+
+	def(OpSHLri, "shl", FmtRI8)
+	def(OpSHRri, "shr", FmtRI8)
+	def(OpSARri, "sar", FmtRI8)
+	def(OpSHLrc, "shl", FmtR)
+	def(OpSHRrc, "shr", FmtR)
+	def(OpSARrc, "sar", FmtR)
+
+	def(OpIMULrr, "imul", FmtRR)
+	def(OpIMULri, "imul", FmtRI)
+	def(OpMUL, "mul", FmtR)
+	def(OpDIV, "div", FmtR)
+	def(OpIDIV, "idiv", FmtR)
+
+	def(OpPUSHr, "push", FmtR)
+	def(OpPUSHi, "push", FmtI32)
+	def(OpPOPr, "pop", FmtR)
+	def(OpPUSHF, "pushf", FmtNone)
+	def(OpPOPF, "popf", FmtNone)
+
+	def(OpJMPrel, "jmp", FmtRel)
+	def(OpJMPr, "jmp", FmtR)
+	def(OpJMPm, "jmp", FmtM)
+	def(OpCALLrel, "call", FmtRel)
+	def(OpCALLr, "call", FmtR)
+	def(OpRET, "ret", FmtNone)
+
+	for c := 0; c < 16; c++ {
+		def(OpJccBase+Op(c), "j"+condNames[c], FmtRel)
+	}
+
+	def(OpIN, "in", FmtRPort)
+	def(OpOUT, "out", FmtPortR)
+	def(OpINT, "int", FmtI8)
+	def(OpIRET, "iret", FmtNone)
+}
+
+// Valid reports whether op is an assigned g86 opcode.
+func (op Op) Valid() bool { return opTable[op].valid }
+
+// Name returns the opcode mnemonic, or "db 0x??" for unassigned bytes.
+func (op Op) Name() string {
+	if opTable[op].valid {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("db 0x%02x", uint8(op))
+}
+
+// Format returns the operand layout of op. Unassigned opcodes report FmtNone.
+func (op Op) Format() Fmt { return opTable[op].fmt }
+
+// IsJcc reports whether op is a conditional branch, returning its condition.
+func (op Op) IsJcc() (Cond, bool) {
+	if op >= OpJccBase && op < OpJccBase+16 {
+		return Cond(op - OpJccBase), true
+	}
+	return 0, false
+}
+
+// MemOperand is a decoded [base + index*scale + disp] memory reference.
+type MemOperand struct {
+	HasBase  bool
+	Base     Reg
+	HasIndex bool
+	Index    Reg
+	ScaleLog uint8 // index is shifted left by ScaleLog (0..3)
+	Disp     uint32
+}
+
+// String renders the operand in Intel-ish syntax, e.g. "[eax+ecx*4+0x10]".
+func (m MemOperand) String() string {
+	s := "["
+	sep := ""
+	if m.HasBase {
+		s += m.Base.String()
+		sep = "+"
+	}
+	if m.HasIndex {
+		s += sep + m.Index.String()
+		if m.ScaleLog > 0 {
+			s += fmt.Sprintf("*%d", 1<<m.ScaleLog)
+		}
+		sep = "+"
+	}
+	if m.Disp != 0 || sep == "" {
+		s += fmt.Sprintf("%s0x%x", sep, m.Disp)
+	}
+	return s + "]"
+}
+
+// EffectiveAddr computes the operand's address under the given register file.
+func (m MemOperand) EffectiveAddr(regs *[NumRegs]uint32) uint32 {
+	addr := m.Disp
+	if m.HasBase {
+		addr += regs[m.Base]
+	}
+	if m.HasIndex {
+		addr += regs[m.Index] << m.ScaleLog
+	}
+	return addr
+}
+
+// Insn is one decoded g86 instruction.
+type Insn struct {
+	Addr uint32 // address of the opcode byte
+	Len  uint32 // total encoded length in bytes
+	Op   Op
+
+	Dst Reg // destination register, if the format has one
+	Src Reg // source register, if the format has one
+	Mem MemOperand
+	Imm uint32 // immediate / relative displacement / port, zero-extended
+
+	// ImmOff is the byte offset of the 32-bit immediate field within the
+	// encoded instruction, or 0 if the instruction has no imm32. The
+	// stylized-SMC translator (§3.6.4 of the paper) uses this to convert
+	// patched immediates into runtime loads from the code stream.
+	ImmOff uint32
+}
+
+// Next returns the address of the following instruction.
+func (i Insn) Next() uint32 { return i.Addr + i.Len }
+
+// BranchTarget resolves a rel32 control transfer target. Only meaningful for
+// FmtRel instructions.
+func (i Insn) BranchTarget() uint32 { return i.Next() + i.Imm }
+
+// HasImm32 reports whether the encoding carries a 32-bit immediate field
+// (the field stylized SMC may patch).
+func (i Insn) HasImm32() bool { return i.ImmOff != 0 }
+
+// IsBlockEnd reports whether the instruction ends a basic block.
+func (i Insn) IsBlockEnd() bool {
+	switch i.Op {
+	case OpJMPrel, OpJMPr, OpJMPm, OpCALLrel, OpCALLr, OpRET, OpHLT, OpINT, OpIRET:
+		return true
+	}
+	_, jcc := i.Op.IsJcc()
+	return jcc
+}
+
+// String disassembles the instruction.
+func (i Insn) String() string {
+	name := i.Op.Name()
+	switch i.Op.Format() {
+	case FmtNone:
+		return name
+	case FmtR:
+		return fmt.Sprintf("%s %s", name, i.Dst)
+	case FmtRR:
+		return fmt.Sprintf("%s %s, %s", name, i.Dst, i.Src)
+	case FmtRI:
+		return fmt.Sprintf("%s %s, 0x%x", name, i.Dst, i.Imm)
+	case FmtRI8:
+		return fmt.Sprintf("%s %s, %d", name, i.Dst, i.Imm)
+	case FmtRM:
+		return fmt.Sprintf("%s %s, %s", name, i.Dst, i.Mem)
+	case FmtMR:
+		return fmt.Sprintf("%s %s, %s", name, i.Mem, i.Src)
+	case FmtMI:
+		return fmt.Sprintf("%s %s, 0x%x", name, i.Mem, i.Imm)
+	case FmtM:
+		return fmt.Sprintf("%s %s", name, i.Mem)
+	case FmtI32:
+		return fmt.Sprintf("%s 0x%x", name, i.Imm)
+	case FmtI8:
+		return fmt.Sprintf("%s %d", name, i.Imm)
+	case FmtRel:
+		return fmt.Sprintf("%s 0x%x", name, i.BranchTarget())
+	case FmtRPort:
+		return fmt.Sprintf("%s %s, 0x%x", name, i.Dst, i.Imm)
+	case FmtPortR:
+		return fmt.Sprintf("%s 0x%x, %s", name, i.Imm, i.Src)
+	}
+	return name
+}

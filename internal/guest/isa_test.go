@@ -1,0 +1,320 @@
+package guest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		name string
+	}{{EAX, "eax"}, {ECX, "ecx"}, {EDX, "edx"}, {EBX, "ebx"}, {ESP, "esp"}, {EBP, "ebp"}, {ESI, "esi"}, {EDI, "edi"}}
+	for _, c := range cases {
+		if c.r.String() != c.name {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, c.r.String(), c.name)
+		}
+		r, ok := RegByName(c.name)
+		if !ok || r != c.r {
+			t.Errorf("RegByName(%q) = %v, %v; want %v, true", c.name, r, ok, c.r)
+		}
+	}
+	if _, ok := RegByName("r15"); ok {
+		t.Error("RegByName accepted unknown register")
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		cond  Cond
+		flags uint32
+		want  bool
+	}{
+		{CondE, FlagZF, true},
+		{CondE, 0, false},
+		{CondNE, FlagZF, false},
+		{CondNE, 0, true},
+		{CondB, FlagCF, true},
+		{CondAE, FlagCF, false},
+		{CondBE, FlagZF, true},
+		{CondBE, FlagCF, true},
+		{CondBE, 0, false},
+		{CondA, FlagCF | FlagZF, false},
+		{CondA, 0, true},
+		{CondS, FlagSF, true},
+		{CondNS, FlagSF, false},
+		{CondO, FlagOF, true},
+		{CondNO, FlagOF, false},
+		{CondL, FlagSF, true},
+		{CondL, FlagOF, true},
+		{CondL, FlagSF | FlagOF, false},
+		{CondGE, FlagSF | FlagOF, true},
+		{CondGE, 0, true},
+		{CondLE, FlagZF, true},
+		{CondLE, FlagSF, true},
+		{CondLE, 0, false},
+		{CondG, 0, true},
+		{CondG, FlagZF, false},
+		{CondP, FlagPF, true},
+		{CondNP, FlagPF, false},
+	}
+	for _, c := range cases {
+		if got := c.cond.Eval(c.flags); got != c.want {
+			t.Errorf("Cond %v with flags %#x: got %v, want %v", c.cond, c.flags, got, c.want)
+		}
+	}
+}
+
+// Every condition and its negation must partition all flag images.
+func TestCondComplement(t *testing.T) {
+	for c := Cond(0); c < 16; c += 2 {
+		for trial := 0; trial < 64; trial++ {
+			flags := uint32(trial) | uint32(trial)<<6
+			if c.Eval(flags) == (c + 1).Eval(flags) {
+				t.Fatalf("cond %v and %v agree on flags %#x", c, c+1, flags)
+			}
+		}
+	}
+}
+
+func TestCondByName(t *testing.T) {
+	for c := Cond(0); c < 16; c++ {
+		got, ok := CondByName(c.String())
+		if !ok || got != c {
+			t.Errorf("CondByName(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	for name, want := range map[string]Cond{"z": CondE, "nz": CondNE, "c": CondB, "nc": CondAE} {
+		got, ok := CondByName(name)
+		if !ok || got != want {
+			t.Errorf("CondByName(%q) = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+}
+
+func TestOpTable(t *testing.T) {
+	if !OpMOVrr.Valid() || OpMOVrr.Name() != "mov" || OpMOVrr.Format() != FmtRR {
+		t.Error("OpMOVrr metadata wrong")
+	}
+	if Op(0xFF).Valid() {
+		t.Error("0xFF should be an unassigned opcode")
+	}
+	if c, ok := (OpJccBase + Op(CondNE)).IsJcc(); !ok || c != CondNE {
+		t.Error("Jcc decode of condition failed")
+	}
+	if _, ok := OpMOVrr.IsJcc(); ok {
+		t.Error("OpMOVrr is not a Jcc")
+	}
+}
+
+func TestMemOperandEffectiveAddr(t *testing.T) {
+	regs := [NumRegs]uint32{}
+	regs[EBX] = 0x1000
+	regs[ESI] = 0x10
+	m := MemOperand{HasBase: true, Base: EBX, HasIndex: true, Index: ESI, ScaleLog: 2, Disp: 8}
+	if got := m.EffectiveAddr(&regs); got != 0x1000+0x40+8 {
+		t.Errorf("EffectiveAddr = %#x", got)
+	}
+	m2 := MemOperand{Disp: 0xdeadbeef}
+	if got := m2.EffectiveAddr(&regs); got != 0xdeadbeef {
+		t.Errorf("absolute EffectiveAddr = %#x", got)
+	}
+}
+
+// randInsn builds a random but well-formed instruction for round-trip tests.
+func randInsn(r *rand.Rand) Insn {
+	var valid []Op
+	for op := 0; op < 256; op++ {
+		if Op(op).Valid() {
+			valid = append(valid, Op(op))
+		}
+	}
+	op := valid[r.Intn(len(valid))]
+	in := Insn{
+		Op:  op,
+		Dst: Reg(r.Intn(NumRegs)),
+		Src: Reg(r.Intn(NumRegs)),
+		Imm: r.Uint32(),
+		Mem: MemOperand{
+			HasBase:  r.Intn(2) == 0,
+			Base:     Reg(r.Intn(NumRegs)),
+			HasIndex: r.Intn(2) == 0,
+			Index:    Reg(r.Intn(NumRegs)),
+			ScaleLog: uint8(r.Intn(4)),
+			Disp:     r.Uint32(),
+		},
+	}
+	switch op.Format() {
+	case FmtRI8, FmtI8:
+		in.Imm &= 0xFF
+	case FmtRPort, FmtPortR:
+		in.Imm &= 0xFFFF
+	}
+	return in
+}
+
+// Encoding then decoding must reproduce the operands exactly.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5000; trial++ {
+		want := randInsn(r)
+		code := Encode(nil, want)
+		if uint32(len(code)) != EncodedLen(want.Op) {
+			t.Fatalf("EncodedLen(%v) = %d, encoded %d bytes", want.Op.Name(), EncodedLen(want.Op), len(code))
+		}
+		got, err := Decode(code, 0x4000)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", want, err)
+		}
+		if got.Op != want.Op {
+			t.Fatalf("opcode mismatch: got %v want %v", got.Op, want.Op)
+		}
+		f := want.Op.Format()
+		if (f == FmtR || f == FmtRR || f == FmtRI || f == FmtRI8 || f == FmtRM || f == FmtRPort) && got.Dst != want.Dst {
+			t.Fatalf("%s: dst mismatch got %v want %v", want.Op.Name(), got.Dst, want.Dst)
+		}
+		if (f == FmtRR || f == FmtMR || f == FmtPortR) && got.Src != want.Src {
+			t.Fatalf("%s: src mismatch got %v want %v", want.Op.Name(), got.Src, want.Src)
+		}
+		switch f {
+		case FmtRI, FmtRI8, FmtMI, FmtI32, FmtRel, FmtI8, FmtRPort, FmtPortR:
+			if got.Imm != want.Imm {
+				t.Fatalf("%s: imm mismatch got %#x want %#x", want.Op.Name(), got.Imm, want.Imm)
+			}
+		}
+		switch f {
+		case FmtRM, FmtMR, FmtMI, FmtM:
+			w := want.Mem
+			if !w.HasBase {
+				w.Base = got.Mem.Base // base field is don't-care when absent
+			}
+			if !w.HasIndex {
+				w.Index = got.Mem.Index
+				w.ScaleLog = got.Mem.ScaleLog
+			}
+			if got.Mem != w {
+				t.Fatalf("%s: mem mismatch got %+v want %+v", want.Op.Name(), got.Mem, w)
+			}
+		}
+		if got.Addr != 0x4000 || got.Len != uint32(len(code)) {
+			t.Fatalf("Addr/Len not set: %+v", got)
+		}
+	}
+}
+
+// Encode must store operands canonically even when unused fields are noisy.
+func TestEncodeAbsentMemFieldsCanonical(t *testing.T) {
+	in := Insn{Op: OpMOVrm, Dst: EAX, Mem: MemOperand{Disp: 0x42}}
+	code := Encode(nil, in)
+	got, err := Decode(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mem.HasBase || got.Mem.HasIndex || got.Mem.Disp != 0x42 {
+		t.Errorf("mem decoded %+v", got.Mem)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil, 0); err == nil {
+		t.Error("empty fetch should fail")
+	}
+	if _, err := Decode([]byte{0xFF}, 0); err == nil {
+		t.Error("unassigned opcode should fail")
+	}
+	// Truncated imm32.
+	if _, err := Decode([]byte{byte(OpMOVri), 0x00, 0x01}, 0); err == nil {
+		t.Error("truncated instruction should fail")
+	}
+	// Register out of range.
+	if _, err := Decode([]byte{byte(OpINC), 0x09}, 0); err == nil {
+		t.Error("register 9 should fail")
+	}
+	// Bad memory flag byte (reserved bits set).
+	bad := []byte{byte(OpJMPm), 0xF0, 0, 0, 0, 0, 0}
+	if _, err := Decode(bad, 0); err == nil {
+		t.Error("reserved mem flag bits should fail")
+	}
+}
+
+func TestImmOffLocatesImmediateField(t *testing.T) {
+	in := Insn{Op: OpADDri, Dst: EAX, Imm: 0x11223344}
+	code := Encode(nil, in)
+	dec, err := Decode(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.HasImm32() {
+		t.Fatal("ADDri must report an imm32 field")
+	}
+	// The 4 bytes at ImmOff must be the little-endian immediate.
+	b := code[dec.ImmOff : dec.ImmOff+4]
+	if b[0] != 0x44 || b[1] != 0x33 || b[2] != 0x22 || b[3] != 0x11 {
+		t.Errorf("imm field bytes = % x", b)
+	}
+	nomem := Insn{Op: OpMOVrr, Dst: EAX, Src: EBX}
+	dec2, _ := Decode(Encode(nil, nomem), 0)
+	if dec2.HasImm32() {
+		t.Error("MOVrr must not report an imm32 field")
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Insn{Op: OpJMPrel, Imm: 0xFFFFFFF0} // -16
+	code := Encode(nil, in)
+	dec, err := Decode(code, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dec.Next() + 0xFFFFFFF0
+	if dec.BranchTarget() != want {
+		t.Errorf("BranchTarget = %#x, want %#x", dec.BranchTarget(), want)
+	}
+	if !dec.IsBlockEnd() {
+		t.Error("jmp must end a block")
+	}
+	mov, _ := Decode(Encode(nil, Insn{Op: OpMOVrr}), 0)
+	if mov.IsBlockEnd() {
+		t.Error("mov must not end a block")
+	}
+}
+
+func TestDisassemblyStrings(t *testing.T) {
+	cases := []struct {
+		in   Insn
+		want string
+	}{
+		{Insn{Op: OpNOP}, "nop"},
+		{Insn{Op: OpMOVrr, Dst: EAX, Src: EBX}, "mov eax, ebx"},
+		{Insn{Op: OpMOVri, Dst: ECX, Imm: 0x10}, "mov ecx, 0x10"},
+		{Insn{Op: OpMOVrm, Dst: EDX, Mem: MemOperand{HasBase: true, Base: EBX, Disp: 4}}, "mov edx, [ebx+0x4]"},
+		{Insn{Op: OpOUT, Imm: 0x3F8, Src: EAX}, "out 0x3f8, eax"},
+		{Insn{Op: OpINT, Imm: 0x21}, "int 33"},
+	}
+	for _, c := range cases {
+		code := Encode(nil, c.in)
+		dec, err := Decode(code, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", c.want, err)
+		}
+		if dec.String() != c.want {
+			t.Errorf("String() = %q, want %q", dec.String(), c.want)
+		}
+	}
+}
+
+// Property: decoding arbitrary bytes never panics and either fails or
+// reports a length within the buffer.
+func TestDecodeArbitraryBytesTotal(t *testing.T) {
+	f := func(code []byte) bool {
+		in, err := Decode(code, 0)
+		if err != nil {
+			return true
+		}
+		return in.Len >= 1 && in.Len <= uint32(len(code))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package ir
+
+import (
+	"testing"
+
+	"cms/internal/guest"
+)
+
+func TestNewSetsAllOperandsToNoVReg(t *testing.T) {
+	i := New(OpAdd)
+	if i.Dst != NoVReg || i.Dst2 != NoVReg || i.A != NoVReg || i.B != NoVReg || i.C != NoVReg {
+		t.Errorf("New left an operand at its zero value (guest EAX): %+v", i)
+	}
+	if i.GIdx != -1 {
+		t.Errorf("GIdx = %d", i.GIdx)
+	}
+}
+
+func TestGuestVRegMapping(t *testing.T) {
+	if GuestVReg(guest.EAX) != 0 || GuestVReg(guest.EDI) != 7 {
+		t.Error("guest register mapping broken")
+	}
+	if VFlags != 8 || VTemp0 <= VFlags {
+		t.Error("vreg layout broken")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpLd8.IsLoad() || !OpLd32.IsLoad() || OpSt32.IsLoad() {
+		t.Error("IsLoad wrong")
+	}
+	if !OpSt8.IsStore() || !OpSt32.IsStore() || OpLd8.IsStore() {
+		t.Error("IsStore wrong")
+	}
+	if !OpExit.IsExit() || !OpExitIf.IsExit() || !OpExitInd.IsExit() || OpMov.IsExit() {
+		t.Error("IsExit wrong")
+	}
+	if !OpAddCC.SetsFlags() || !OpMul64.SetsFlags() || OpAdd.SetsFlags() || OpDivU.SetsFlags() {
+		t.Error("SetsFlags wrong")
+	}
+}
+
+func TestPlainOf(t *testing.T) {
+	cases := map[Op]Op{
+		OpAddCC: OpAdd, OpSubCC: OpSub, OpAndCC: OpAnd, OpOrCC: OpOr,
+		OpXorCC: OpXor, OpShlCC: OpShl, OpShrCC: OpShr, OpSarCC: OpSar,
+		OpIncCC: OpAdd, OpDecCC: OpSub, OpNegCC: OpSub,
+	}
+	for cc, want := range cases {
+		if got, ok := PlainOf(cc); !ok || got != want {
+			t.Errorf("PlainOf(%v) = %v, %v; want %v", cc, got, ok, want)
+		}
+	}
+	if _, ok := PlainOf(OpImulCC); ok {
+		t.Error("imul has no plain form")
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	add := New(OpAddCC)
+	add.Dst, add.A, add.B = 20, 21, 22
+	uses := add.Uses(nil)
+	if len(uses) != 3 || uses[0] != 21 || uses[1] != 22 || uses[2] != VFlags {
+		t.Errorf("AddCC uses: %v", uses)
+	}
+	defs := add.Defs(nil)
+	if len(defs) != 2 || defs[0] != 20 || defs[1] != VFlags {
+		t.Errorf("AddCC defs: %v", defs)
+	}
+
+	div := New(OpDivU)
+	div.Dst, div.Dst2, div.A, div.B, div.C = 16, 17, 0, 1, 2
+	if d := div.Defs(nil); len(d) != 2 {
+		t.Errorf("div defs: %v (flags must not be defined)", d)
+	}
+	if u := div.Uses(nil); len(u) != 3 {
+		t.Errorf("div uses: %v", u)
+	}
+
+	st := New(OpSt32)
+	st.A, st.B = 3, 4
+	if d := st.Defs(nil); len(d) != 0 {
+		t.Errorf("store defs: %v", d)
+	}
+
+	exitIf := New(OpExitIf)
+	if u := exitIf.Uses(nil); len(u) != 1 || u[0] != VFlags {
+		t.Errorf("exit.if uses: %v", u)
+	}
+
+	b := New(OpBoundary)
+	if len(b.Uses(nil)) != 0 || len(b.Defs(nil)) != 0 {
+		t.Error("boundary must be transparent")
+	}
+}
+
+func TestAddExit(t *testing.T) {
+	var r Region
+	i0 := r.AddExit(Exit{Kind: ExitJump, Target: 0x100, Insns: 1})
+	i1 := r.AddExit(Exit{Kind: ExitIndirect})
+	if i0 != 0 || i1 != 1 || len(r.Exits) != 2 {
+		t.Errorf("exit indices %d %d", i0, i1)
+	}
+	if ExitSelfCheckFail.String() != "selfcheck-fail" || ExitJump.String() != "jump" {
+		t.Error("exit kind names")
+	}
+}
+
+func TestSrcRangesMergesUnrolledDuplicates(t *testing.T) {
+	mk := func(addr, ln uint32) guest.Insn { return guest.Insn{Addr: addr, Len: ln} }
+	r := Region{Insns: []guest.Insn{
+		// Two unrolled copies of a 3-instruction loop plus a tail.
+		mk(0x100, 2), mk(0x102, 6), mk(0x108, 2),
+		mk(0x100, 2), mk(0x102, 6), mk(0x108, 2),
+		mk(0x200, 4),
+	}}
+	got := r.SrcRanges()
+	want := []SrcRange{{Addr: 0x100, Len: 10}, {Addr: 0x200, Len: 4}}
+	if len(got) != len(want) {
+		t.Fatalf("ranges: %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("range %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSrcRangesOverlapMerge(t *testing.T) {
+	mk := func(addr, ln uint32) guest.Insn { return guest.Insn{Addr: addr, Len: ln} }
+	// A shorter re-decode inside a longer one must not extend the range.
+	r := Region{Insns: []guest.Insn{mk(0x100, 8), mk(0x102, 2)}}
+	got := r.SrcRanges()
+	if len(got) != 1 || got[0] != (SrcRange{Addr: 0x100, Len: 8}) {
+		t.Errorf("ranges: %+v", got)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if OpAddCC.String() != "add.cc" || OpBoundary.String() != "boundary" {
+		t.Error("op names")
+	}
+	i := New(OpLd32)
+	i.Dst, i.A, i.Imm = 16, 3, 0x10
+	if s := i.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

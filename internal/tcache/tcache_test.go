@@ -1,0 +1,200 @@
+package tcache
+
+import (
+	"testing"
+
+	"cms/internal/asm"
+	"cms/internal/dev"
+	"cms/internal/ir"
+	"cms/internal/mem"
+	"cms/internal/xlate"
+)
+
+// mkTrans translates a small real program at org so entries carry genuine
+// metadata.
+func mkTrans(t *testing.T, bus *mem.Bus, org uint32) *xlate.Translation {
+	t.Helper()
+	b := asm.NewBuilder(org)
+	b.MovRI(3, 1).AddRI(3, 2).Jmp("next").Label("next").Nop().Hlt()
+	bus.WriteRaw(org, b.MustAssemble())
+	tr := &xlate.Translator{Bus: bus}
+	tl, err := tr.Translate(org, xlate.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func newBus() *mem.Bus { return dev.NewPlatform(1<<20, nil).Bus }
+
+func TestInstallLookup(t *testing.T) {
+	bus := newBus()
+	c := New()
+	tl := mkTrans(t, bus, 0x1000)
+	e := c.Install(tl)
+	if !e.Valid {
+		t.Fatal("installed entry invalid")
+	}
+	if got := c.Lookup(0x1000); got != e {
+		t.Fatal("lookup missed")
+	}
+	if c.Lookup(0x2000) != nil {
+		t.Fatal("phantom hit")
+	}
+	if c.Stats.Lookups != 2 || c.Stats.Hits != 1 || c.Stats.Installs != 1 {
+		t.Errorf("stats: %+v", c.Stats)
+	}
+	n, atoms := c.Size()
+	if n != 1 || atoms != tl.CodeAtoms() {
+		t.Errorf("size: %d entries %d atoms", n, atoms)
+	}
+}
+
+func TestReinstallReplaces(t *testing.T) {
+	bus := newBus()
+	c := New()
+	e1 := c.Install(mkTrans(t, bus, 0x1000))
+	e2 := c.Install(mkTrans(t, bus, 0x1000))
+	if e1.Valid {
+		t.Error("old entry must be invalidated")
+	}
+	if c.Lookup(0x1000) != e2 {
+		t.Error("lookup must find the new entry")
+	}
+}
+
+func TestChainingAndUnchain(t *testing.T) {
+	bus := newBus()
+	c := New()
+	a := c.Install(mkTrans(t, bus, 0x1000))
+	b := c.Install(mkTrans(t, bus, 0x3000))
+	c.Chain(a, 0, b)
+	if a.Chained(0) != b {
+		t.Fatal("chain not set")
+	}
+	// Chaining twice is a no-op.
+	c.Chain(a, 0, a)
+	if a.Chained(0) != b {
+		t.Fatal("chain overwritten")
+	}
+	// Invalidating the target unchains.
+	c.Invalidate(b)
+	if a.Chained(0) != nil {
+		t.Fatal("stale chain survived invalidation")
+	}
+	if c.Stats.Unchains != 1 {
+		t.Errorf("unchains = %d", c.Stats.Unchains)
+	}
+}
+
+func TestInvalidatePage(t *testing.T) {
+	bus := newBus()
+	c := New()
+	c.Install(mkTrans(t, bus, 0x1000))
+	c.Install(mkTrans(t, bus, 0x1800)) // same page
+	c.Install(mkTrans(t, bus, 0x3000)) // other page
+	if n := c.InvalidatePage(1); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if c.Lookup(0x1000) != nil || c.Lookup(0x1800) != nil {
+		t.Error("page entries must be gone")
+	}
+	if c.Lookup(0x3000) == nil {
+		t.Error("other page must survive")
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	bus := newBus()
+	c := New()
+	e1 := c.Install(mkTrans(t, bus, 0x1000))
+	c.Install(mkTrans(t, bus, 0x1800))
+	hit := c.InvalidateRange(0x1002, 2)
+	if len(hit) != 1 || hit[0] != e1 {
+		t.Fatalf("range invalidation hit %d entries", len(hit))
+	}
+	if c.Lookup(0x1800) == nil {
+		t.Error("non-overlapping entry must survive")
+	}
+	// Overlapping() does not invalidate.
+	if len(c.Overlapping(0x1800, 4)) != 1 {
+		t.Error("Overlapping miscounted")
+	}
+	if c.Lookup(0x1800) == nil {
+		t.Error("Overlapping must not invalidate")
+	}
+}
+
+func TestPageChunkMask(t *testing.T) {
+	bus := newBus()
+	c := New()
+	c.Install(mkTrans(t, bus, 0x1000)) // chunk 0 of page 1
+	c.Install(mkTrans(t, bus, 0x1E00)) // chunk 28 of page 1
+	mask := c.PageChunkMask(1)
+	if mask&1 == 0 {
+		t.Error("chunk 0 missing")
+	}
+	if mask&(1<<(0xE00/mem.ChunkSize)) == 0 {
+		t.Error("chunk 28 missing")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	bus := newBus()
+	c := New()
+	e := c.Install(mkTrans(t, bus, 0x1000))
+	c.Invalidate(e) // retired into the group
+	if c.GroupSize(0x1000) != 1 {
+		t.Fatalf("group size %d", c.GroupSize(0x1000))
+	}
+	// Memory unchanged: the retired version matches and is removed.
+	tl := c.GroupMatch(0x1000, bus)
+	if tl == nil {
+		t.Fatal("group match failed")
+	}
+	if c.GroupSize(0x1000) != 0 {
+		t.Error("matched version must leave the group")
+	}
+	// Re-retire, patch code, no match.
+	e2 := c.Install(tl)
+	c.Invalidate(e2)
+	bus.WriteRaw(0x1000, []byte{0xEE})
+	if c.GroupMatch(0x1000, bus) != nil {
+		t.Error("modified source must not match")
+	}
+	if c.Stats.GroupHits != 1 || c.Stats.GroupRetires != 2 {
+		t.Errorf("group stats: %+v", c.Stats)
+	}
+}
+
+func TestCapacityFlush(t *testing.T) {
+	bus := newBus()
+	c := New()
+	tl := mkTrans(t, bus, 0x1000)
+	c.CapAtoms = tl.CodeAtoms() + 1 // room for exactly one
+	c.Install(tl)
+	c.Install(mkTrans(t, bus, 0x3000))
+	if c.Stats.Flushes != 1 {
+		t.Fatalf("flushes = %d", c.Stats.Flushes)
+	}
+	if c.Lookup(0x1000) != nil {
+		t.Error("flush must drop old entries")
+	}
+	if c.Lookup(0x3000) == nil {
+		t.Error("new entry must be present after flush")
+	}
+}
+
+func TestExitMetadataUsable(t *testing.T) {
+	bus := newBus()
+	c := New()
+	e := c.Install(mkTrans(t, bus, 0x1000))
+	if len(e.T.Exits) == 0 {
+		t.Fatal("translation has no exits")
+	}
+	for _, x := range e.T.Exits {
+		if x.Kind == ir.ExitJump && x.Insns == 0 {
+			t.Error("exit retire count missing")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package vliw
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DisasmAtom renders one atom in a readable form, e.g.
+//
+//	add.c r17 = r16, r3 [f8->f20]
+//	ld.4 r20 = [r19+0x8] R p2
+//	brcc ne -> 14
+func DisasmAtom(a Atom) string {
+	var b strings.Builder
+	switch a.Op {
+	case ANop:
+		return "nop"
+	case AMovI:
+		fmt.Fprintf(&b, "movi r%d = %#x", a.Rd, a.Imm)
+	case AMov:
+		fmt.Fprintf(&b, "mov r%d = r%d", a.Rd, a.Ra)
+	case ALd:
+		fmt.Fprintf(&b, "ld.%d r%d = [r%d+%#x]", a.Size, a.Rd, a.Ra, a.Imm)
+		if a.Reordered {
+			b.WriteString(" R")
+		}
+		if a.ProtIdx != NoAliasIdx {
+			fmt.Fprintf(&b, " p%d", a.ProtIdx)
+		}
+	case ASt:
+		fmt.Fprintf(&b, "st.%d [r%d+%#x] = r%d", a.Size, a.Ra, a.Imm, a.Rb)
+		if a.Reordered {
+			b.WriteString(" R")
+		}
+		if a.CheckMask != 0 {
+			fmt.Fprintf(&b, " cm=%#x", a.CheckMask)
+		}
+	case AIn:
+		fmt.Fprintf(&b, "in r%d = port[%#x]", a.Rd, a.Imm)
+	case AOut:
+		fmt.Fprintf(&b, "out port[%#x] = r%d", a.Imm, a.Rb)
+	case ABr:
+		fmt.Fprintf(&b, "br -> %d", a.Target)
+	case ABrCC:
+		fmt.Fprintf(&b, "brcc %v(f%d) -> %d", a.Cond, FlagSrc(a), a.Target)
+	case ABrNZ:
+		fmt.Fprintf(&b, "brnz r%d -> %d", a.Ra, a.Target)
+	case AExit:
+		fmt.Fprintf(&b, "exit %d", a.Imm)
+		if a.Commit {
+			b.WriteString(" commit")
+		}
+	case AExitInd:
+		fmt.Fprintf(&b, "exit.ind %d via r%d", a.Imm, a.Ra)
+		if a.Commit {
+			b.WriteString(" commit")
+		}
+	case ACommit:
+		fmt.Fprintf(&b, "commit eip=%#x", a.Imm)
+	case AMul64:
+		fmt.Fprintf(&b, "mul64 r%d:r%d = r%d * r%d [f%d->f%d]", a.Rd2, a.Rd, a.Ra, a.Rb, FlagSrc(a), FlagDst(a))
+	case ADivU, ADivS:
+		fmt.Fprintf(&b, "%v r%d,r%d = r%d:r%d / r%d", a.Op, a.Rd, a.Rd2, a.Rc, a.Ra, a.Rb)
+	case ASetCC:
+		fmt.Fprintf(&b, "setcc.%v(f%d) r%d", a.Cond, FlagSrc(a), a.Rd)
+	default:
+		// Generic ALU forms.
+		imm := strings.HasSuffix(a.Op.String(), "i") || strings.HasSuffix(a.Op.String(), "i.c")
+		if imm {
+			fmt.Fprintf(&b, "%v r%d = r%d, %#x", a.Op, a.Rd, a.Ra, a.Imm)
+		} else {
+			fmt.Fprintf(&b, "%v r%d = r%d, r%d", a.Op, a.Rd, a.Ra, a.Rb)
+		}
+		if isCCOp(a.Op) {
+			fmt.Fprintf(&b, " [f%d->f%d]", FlagSrc(a), FlagDst(a))
+		}
+	}
+	if a.GIdx >= 0 {
+		fmt.Fprintf(&b, "  ;g%d", a.GIdx)
+	}
+	return b.String()
+}
+
+func isCCOp(op AtomOp) bool {
+	switch op {
+	case AAddCC, AAddICC, ASubCC, ASubICC, AAndCC, AAndICC, AOrCC, AOrICC,
+		AXorCC, AXorICC, AShlCC, AShlICC, AShrCC, AShrICC, ASarCC, ASarICC,
+		AIncCC, ADecCC, ANegCC, AImulCC, AAdcCC, AAdcICC, ASbbCC, ASbbICC:
+		return true
+	}
+	return false
+}
+
+// Disasm writes a molecule-per-line listing of the code to w.
+func Disasm(w io.Writer, c *Code) {
+	for mi, m := range c.Mols {
+		if len(m.Atoms) == 0 {
+			fmt.Fprintf(w, "%4d:  (stall)\n", mi)
+			continue
+		}
+		for ai, a := range m.Atoms {
+			if ai == 0 {
+				fmt.Fprintf(w, "%4d:  %s\n", mi, DisasmAtom(a))
+			} else {
+				fmt.Fprintf(w, "       %s\n", DisasmAtom(a))
+			}
+		}
+	}
+}

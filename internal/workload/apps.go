@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"cms/internal/asm"
+	"cms/internal/dev"
+	"cms/internal/guest"
+)
+
+// varBase is where repeat counters and app-local variables live (plain RAM,
+// far from any code page and above every data array the kernels sweep).
+const varBase = 0xE000
+
+// nextVar allocates a RAM word for generator bookkeeping.
+func (g *gen) nextVar() uint32 {
+	g.vars += 4
+	return varBase + g.vars - 4
+}
+
+// repeat wraps body in a memory-counted outer loop (kernels clobber all
+// registers, so the counter lives in RAM).
+func (g *gen) repeat(times uint32, body func()) {
+	b := g.b
+	addr := g.nextVar()
+	top := g.l("rep")
+	b.MovMI(asm.Abs(addr), times)
+	b.Label(top)
+	body()
+	b.MovRM(ecx, asm.Abs(addr))
+	b.Dec(ecx)
+	b.MovMR(asm.Abs(addr), ecx)
+	b.Jcc(guest.CondNE, top)
+}
+
+// appProlog starts an app image: stack and data arrays.
+func appProlog(seed uint64) *gen {
+	g := newGen(0x1000, seed)
+	b := g.b
+	b.Label("_start")
+	b.MovRI(esp, stackTop)
+	g.installStubIRQs(dev.IRQDisk, dev.IRQBlt)
+	g.memFill(dataA, 1024)
+	g.memFill(dataB, 1024)
+	return g
+}
+
+func (g *gen) epilog() *Image {
+	g.b.Hlt()
+	return finish(g.b, g.b.LabelAddr("_start"), nil)
+}
+
+func registerApp(name, paper string, build func() *Image) {
+	register(Workload{Name: name, Kind: App, Paper: paper, Build: build})
+}
+
+func init() {
+	registerApp("eqntott", "023.eqntott (SPECcpu92)", func() *Image {
+		g := appProlog(1)
+		g.repeat(24, func() { g.bitops(dataA, 900) })
+		return g.epilog()
+	})
+
+	registerApp("compress", "026.compress (SPECcpu92)", func() *Image {
+		g := appProlog(2)
+		g.repeat(16, func() {
+			g.hashLoop(dataH, 700)
+			g.memCopy(dataA, dataC, 300)
+		})
+		return g.epilog()
+	})
+
+	registerApp("sc", "072.sc (SPECcpu92)", func() *Image {
+		g := appProlog(3)
+		g.repeat(10, func() { g.recalc(dataA, 24, 80) })
+		return g.epilog()
+	})
+
+	registerApp("gcc", "085.gcc (SPECcpu92)", func() *Image {
+		g := appProlog(4)
+		g.repeat(10, func() {
+			g.branchy(dataA, 700)
+			g.callTree(200)
+		})
+		return g.epilog()
+	})
+
+	registerApp("tomcatv", "047.tomcatv (SPECcpu92)", func() *Image {
+		g := appProlog(5)
+		g.repeat(24, func() { g.stencil(dataA, dataB, 800) })
+		return g.epilog()
+	})
+
+	registerApp("ora", "048.ora (SPECcpu92)", func() *Image {
+		g := appProlog(6)
+		// Newton-style integer iteration: long dependent chains, light on
+		// memory, so suppressing reordering hurts it only mildly.
+		b := g.b
+		g.repeat(12, func() {
+			loop := g.l("ora")
+			b.MovRI(ecx, 800)
+			b.MovRI(eax, 123456)
+			b.Label(loop)
+			b.MovRR(ebx, eax)
+			b.ShrRI(ebx, 3)
+			b.ImulRI(ebx, 5)
+			b.AddRI(ebx, 17)
+			b.XorRR(eax, ebx)
+			b.Dec(ecx)
+			b.Jcc(guest.CondNE, loop)
+		})
+		return g.epilog()
+	})
+
+	registerApp("alvinn", "052.alvinn (SPECcpu92)", func() *Image {
+		g := appProlog(7)
+		g.repeat(20, func() { g.dotProduct(dataA, dataB, 700) })
+		return g.epilog()
+	})
+
+	registerApp("mdljsp2", "077.mdljsp2 (SPECcpu92)", func() *Image {
+		g := appProlog(8)
+		g.repeat(10, func() { g.physics(dataA, dataB, 500) })
+		return g.epilog()
+	})
+
+	registerApp("multimedia", "MultimediaMark99", func() *Image {
+		g := appProlog(9)
+		g.repeat(14, func() {
+			g.satArith(dataA, 900)
+			g.bltOp(dataA, dataC, 0x200, dev.BltOpCopy)
+			g.bltOp(dataC, dataC+0x200, 0x200, dev.BltOpXor)
+		})
+		// Mixed code and data page traffic (Table 1 includes Multimedia).
+		g.mixedData(100)
+		g.mixedPhase(220, 60)
+		return g.epilog()
+	})
+
+	registerApp("cpumark", "CPUmark99", func() *Image {
+		g := appProlog(10)
+		g.repeat(8, func() {
+			g.memCopy(dataA, dataC, 400)
+			g.bitops(dataB, 300)
+			g.hashLoop(dataH, 250)
+			g.branchy(dataA, 250)
+		})
+		return g.epilog()
+	})
+
+	registerApp("quattro_pro", "QuattroPro (Winstone)", func() *Image {
+		g := appProlog(11)
+		g.repeat(8, func() {
+			g.recalc(dataA, 16, 64)
+			g.stringOps(dataA, dataC, 500)
+		})
+		return g.epilog()
+	})
+
+	registerApp("wordperfect", "WordPerfect (Winstone)", func() *Image {
+		g := appProlog(12)
+		g.repeat(10, func() {
+			g.stringOps(dataA, dataC, 800)
+			g.memCopy(dataA, dataB, 250)
+		})
+		// Occasional console echo, as an interactive app would.
+		g.mmioBanner("WP", 10)
+		return g.epilog()
+	})
+
+	registerApp("crafty", "crafty (SPECint2000)", func() *Image {
+		g := appProlog(13)
+		g.repeat(10, func() {
+			g.bitops(dataA, 500)
+			g.callTree(250)
+		})
+		return g.epilog()
+	})
+
+	registerApp("espresso", "008.espresso (SPECcpu92)", func() *Image {
+		g := appProlog(15)
+		g.repeat(14, func() {
+			g.bitops(dataA, 600)
+			g.branchy(dataA, 300)
+		})
+		return g.epilog()
+	})
+
+	registerApp("li", "022.li (SPECcpu92)", func() *Image {
+		g := appProlog(16)
+		// A lisp interpreter chases cons cells and calls eval recursively.
+		g.repeat(10, func() {
+			g.listWalk(dataC, 120, 8)
+			g.callTree(150)
+		})
+		return g.epilog()
+	})
+
+	registerApp("mdljdp2", "075.mdljdp2 (SPECcpu92)", func() *Image {
+		g := appProlog(17)
+		g.repeat(8, func() { g.physics(dataB, dataA, 450) })
+		return g.epilog()
+	})
+
+	registerApp("spice2g6", "013.spice2g6 (SPECcpu92)", func() *Image {
+		g := appProlog(18)
+		g.repeat(8, func() {
+			g.stencil(dataA, dataB, 500)
+			g.physics(dataA, dataC, 200)
+		})
+		return g.epilog()
+	})
+
+	registerApp("su2cor", "089.su2cor (SPECcpu92)", func() *Image {
+		g := appProlog(19)
+		g.repeat(12, func() {
+			g.dotProduct(dataA, dataB, 500)
+			g.stencil(dataB, dataC, 300)
+		})
+		return g.epilog()
+	})
+
+	registerApp("wave5", "146.wave5 (SPECcpu92)", func() *Image {
+		g := appProlog(20)
+		g.repeat(12, func() {
+			g.stencil(dataA, dataB, 450)
+			g.memCopy2(dataB, dataC, 200)
+		})
+		return g.epilog()
+	})
+
+	registerApp("winstone_access", "Access (Winstone)", func() *Image {
+		g := appProlog(21)
+		g.repeat(8, func() {
+			g.hashLoop(dataH, 300)
+			g.stringOps(dataA, dataC, 400)
+			g.recalc(dataA, 10, 48)
+		})
+		return g.epilog()
+	})
+
+	registerApp("winstone_navigator", "Navigator (Winstone)", func() *Image {
+		g := appProlog(22)
+		g.repeat(10, func() {
+			g.stringOps(dataA, dataC, 500)
+			g.branchy(dataA, 250)
+		})
+		g.mmioBanner("Loading...", 15)
+		return g.epilog()
+	})
+
+	registerApp("winstone_powerpoint", "PowerPoint (Winstone)", func() *Image {
+		g := appProlog(23)
+		g.repeat(9, func() {
+			g.memCopy(dataA, dataC, 350)
+			g.bltOp(dataC, dataC+0x400, 0x200, dev.BltOpCopy)
+			g.stringOps(dataA, dataB, 250)
+		})
+		return g.epilog()
+	})
+
+	registerApp("winme_help", "WindowsME help", func() *Image {
+		g := appProlog(24)
+		g.repeat(10, func() {
+			g.stringOps(dataA, dataC, 450)
+			g.branchy(dataB, 200)
+		})
+		g.mmioBanner("Help and Support", 12)
+		return g.epilog()
+	})
+
+	registerApp("winstone_corel", "Corel (Winstone)", func() *Image {
+		g := appProlog(14)
+		g.repeat(24, func() {
+			g.stencil(dataA, dataB, 400)
+			g.bltOp(dataA, dataC, 0x180, dev.BltOpCopy)
+		})
+		// Corel draws through a driver with mixed code and data (Table 1).
+		g.mixedData(100)
+		g.mixedPhase(200, 60)
+		g.smcVersionToggle(12, 150)
+		return g.epilog()
+	})
+}

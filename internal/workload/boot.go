@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"cms/internal/asm"
+	"cms/internal/dev"
+	"cms/internal/guest"
+)
+
+// bootParams shapes one OS-boot analog. The relative sizes mirror what the
+// paper reports indirectly: Windows-family boots are MMIO- and SMC-heavy
+// (BIOS + real-mode driver idioms), Linux/OS2 lean more on straight
+// compute-style initialization, DOS is small.
+type bootParams struct {
+	name   string
+	paper  string
+	banner string
+
+	mmioReps     uint32 // console banner repetitions
+	pollReps     uint32 // device status polling
+	diskSectors  uint32 // "kernel" image DMA-loaded then executed
+	mixedIters   uint32 // mixed code-and-data writes (BIOS idiom)
+	smcOuter     uint32 // driver self-modification (imm patch idiom)
+	smcInner     uint32
+	copyWords    uint32 // memory init traffic (reorder-sensitive)
+	stencilWords uint32
+	hashIters    uint32
+	computeReps  uint32 // passes over the init kernels (services started)
+	mixedPhases  uint32 // write/execute alternations on a mixed page (Table 1)
+	timerPeriod  uint32
+	bltOps       int
+}
+
+// bootKernel builds the DMA-loaded "kernel": a relocatable routine at
+// kernelBase that runs a compute loop and returns.
+func bootKernel(kernelBase uint32, words uint32) []byte {
+	g := newGen(kernelBase, 99)
+	b := g.b
+	b.Push(ecx)
+	b.Push(edx)
+	g.memSum(0x8000, words)
+	g.dotProduct(0x8000, 0x9000, words/2)
+	b.Pop(edx)
+	b.Pop(ecx)
+	b.Ret()
+	img := b.MustAssemble()
+	// Pad to whole sectors.
+	pad := (dev.SectorSize - len(img)%dev.SectorSize) % dev.SectorSize
+	return append(img, make([]byte, pad)...)
+}
+
+const (
+	bootOrg    = 0x1000
+	kernelBase = 0x40000
+	dataA      = 0x8000
+	dataB      = 0x9000
+	dataC      = 0xA000
+	dataH      = 0x18000 // hash tables (dictionary + histogram)
+	tickVar    = 0xE800
+	stackTop   = 0xF0000
+)
+
+func buildBoot(p bootParams) *Image {
+	disk := bootKernel(kernelBase, 256)
+	g := newGen(bootOrg, 7)
+	b := g.b
+
+	// "BIOS": stack, data init, banner, probing, mixed code/data.
+	b.Label("_start")
+	b.MovRI(esp, stackTop)
+	g.installStubIRQs(dev.IRQDisk, dev.IRQBlt)
+	g.memFill(dataA, 512)
+	g.memFill(dataB, 512)
+	g.mmioBanner(p.banner, p.mmioReps)
+	g.devicePoll(p.pollReps)
+	if p.mixedIters > 0 {
+		g.mixedData(p.mixedIters)
+	}
+
+	// Load the kernel by DMA and call it (interrupts masked: the disk IRQ
+	// is polled, as real boot loaders do).
+	b.Cli()
+	g.diskLoad(0, kernelBase, p.diskSectors)
+	waitLbl := g.l("dwait")
+	b.Label(waitLbl)
+	b.In(eax, dev.DiskStatusPort)
+	b.TestRR(eax, eax)
+	b.Jcc(guest.CondE, waitLbl)
+	b.MovRI(ebx, kernelBase)
+	b.CallR(ebx)
+
+	// Driver reload: DMA a fresh copy of the kernel over the now-translated
+	// code and run it again — the paging-activity path of §3.6.1 (DMA
+	// writes to a protected page invalidate all its translations).
+	g.diskLoad(0, kernelBase, p.diskSectors)
+	wait2 := g.l("dwait")
+	b.Label(wait2)
+	b.In(eax, dev.DiskStatusPort)
+	b.TestRR(eax, eax)
+	b.Jcc(guest.CondE, wait2)
+	b.MovRI(ebx, kernelBase)
+	b.CallR(ebx)
+
+	// "Kernel" phase: timer on, driver and service init passes, SMC
+	// drivers. Each "service start" sweeps the memory kernels again, which
+	// is where the reorder-sensitive hot loops of a boot live.
+	b.Sti()
+	if p.timerPeriod > 0 {
+		g.timerSetup(p.timerPeriod, tickVar)
+	}
+	reps := p.computeReps
+	if reps == 0 {
+		reps = 1
+	}
+	g.repeat(reps, func() {
+		g.memCopy(dataA, dataC, p.copyWords)
+		g.memCopy2(dataA, dataB, p.copyWords/2)
+		if p.stencilWords > 0 {
+			g.stencil(dataA, dataB, p.stencilWords)
+		}
+		if p.hashIters > 0 {
+			g.hashLoop(dataH, p.hashIters)
+		}
+	})
+	if p.smcOuter > 0 {
+		g.smcPatchLoop(p.smcOuter, p.smcInner)
+	}
+	if p.mixedPhases > 0 {
+		g.mixedPhase(p.mixedPhases, 60)
+	}
+	for i := 0; i < p.bltOps; i++ {
+		g.bltOp(dataA, dataC+uint32(i)*0x100, 0x100, dev.BltOpCopy)
+	}
+	if p.timerPeriod > 0 {
+		g.timerStop()
+	}
+	// Final heartbeat to the console and halt.
+	b.MovRI(eax, '!')
+	b.Out(dev.ConsoleDataPort, eax)
+	b.Hlt()
+
+	return finish(b, b.LabelAddr("_start"), disk)
+}
+
+func registerBoot(p bootParams) {
+	register(Workload{
+		Name:  p.name,
+		Kind:  Boot,
+		Paper: p.paper,
+		Build: func() *Image { return buildBoot(p) },
+	})
+}
+
+func init() {
+	registerBoot(bootParams{
+		name: "dos_boot", paper: "DOS boot", banner: "Starting MS-DOS...",
+		mmioReps: 30, pollReps: 250, diskSectors: 1, mixedIters: 700,
+		smcOuter: 8, smcInner: 80, copyWords: 600, hashIters: 800, computeReps: 14,
+	})
+	registerBoot(bootParams{
+		name: "linux_boot", paper: "Linux boot", banner: "Booting the kernel.",
+		mmioReps: 20, pollReps: 400, diskSectors: 2, mixedIters: 200,
+		copyWords: 300, stencilWords: 0, hashIters: 2500, computeReps: 4,
+		timerPeriod: 4000,
+	})
+	registerBoot(bootParams{
+		name: "os2_boot", paper: "OS/2 boot", banner: "OS/2 Warp",
+		mmioReps: 40, pollReps: 300, diskSectors: 2, mixedIters: 400,
+		copyWords: 1200, stencilWords: 600, hashIters: 800, computeReps: 10,
+		timerPeriod: 5000,
+	})
+	registerBoot(bootParams{
+		name: "win95_boot", paper: "Windows 95 boot", banner: "Starting Windows 95...",
+		mmioReps: 60, pollReps: 300, diskSectors: 3, mixedIters: 80,
+		smcOuter: 25, smcInner: 150, copyWords: 1500, stencilWords: 800,
+		hashIters: 600, computeReps: 24, timerPeriod: 3000, bltOps: 4, mixedPhases: 300,
+	})
+	registerBoot(bootParams{
+		name: "win98_boot", paper: "Windows 98 boot", banner: "Starting Windows 98...",
+		mmioReps: 70, pollReps: 350, diskSectors: 3, mixedIters: 80,
+		smcOuter: 30, smcInner: 160, copyWords: 2000, stencilWords: 1000,
+		hashIters: 700, computeReps: 28, timerPeriod: 3000, bltOps: 5, mixedPhases: 380,
+	})
+	registerBoot(bootParams{
+		name: "winme_boot", paper: "Windows ME boot", banner: "Windows Millennium",
+		mmioReps: 50, pollReps: 250, diskSectors: 3, mixedIters: 1200,
+		smcOuter: 20, smcInner: 120, copyWords: 3000, stencilWords: 1600,
+		hashIters: 500, computeReps: 36, timerPeriod: 3000, bltOps: 6,
+	})
+	registerBoot(bootParams{
+		name: "winnt_boot", paper: "Windows NT boot", banner: "Windows NT 4.0",
+		mmioReps: 35, pollReps: 500, diskSectors: 4, mixedIters: 500,
+		copyWords: 1000, stencilWords: 400, hashIters: 1500, computeReps: 8,
+		timerPeriod: 4000, bltOps: 2,
+	})
+	registerBoot(bootParams{
+		name: "winxp_boot", paper: "Windows XP boot", banner: "Microsoft Windows XP",
+		mmioReps: 45, pollReps: 400, diskSectors: 4, mixedIters: 800,
+		smcOuter: 10, smcInner: 100, copyWords: 2500, stencilWords: 1200,
+		hashIters: 1200, computeReps: 22, timerPeriod: 3500, bltOps: 3,
+	})
+	_ = asm.Abs // keep asm imported even if helpers change
+}

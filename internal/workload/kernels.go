@@ -1,0 +1,595 @@
+package workload
+
+import (
+	"fmt"
+
+	"cms/internal/asm"
+	"cms/internal/dev"
+	"cms/internal/guest"
+)
+
+// gen wraps a builder with unique-label generation and the kernel emitters
+// shared by all workloads. Kernels clobber all registers; each runs a
+// counted loop and falls through when done.
+type gen struct {
+	b    *asm.Builder
+	n    int
+	r    *prng
+	vars uint32
+}
+
+func newGen(org uint32, seed uint64) *gen {
+	return &gen{b: asm.NewBuilder(org), r: newPrng(seed)}
+}
+
+// l returns a fresh label with a readable prefix.
+func (g *gen) l(prefix string) string {
+	g.n++
+	return fmt.Sprintf("%s_%d", prefix, g.n)
+}
+
+const (
+	eax = guest.EAX
+	ecx = guest.ECX
+	edx = guest.EDX
+	ebx = guest.EBX
+	esp = guest.ESP
+	ebp = guest.EBP
+	esi = guest.ESI
+	edi = guest.EDI
+)
+
+// memFill stores a pattern over [dst, dst+4*count).
+func (g *gen) memFill(dst uint32, count uint32) {
+	b := g.b
+	loop := g.l("fill")
+	b.MovRI(edi, dst)
+	b.MovRI(ecx, count)
+	b.Label(loop)
+	b.MovMR(asm.MemIdx(edi, ecx, 4, 0), ecx)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// memCopy copies count words src->dst through two independent pointers
+// (unprovable aliasing: the alias hardware earns its keep here).
+func (g *gen) memCopy(src, dst uint32, count uint32) {
+	b := g.b
+	loop := g.l("copy")
+	b.MovRI(esi, src)
+	b.MovRI(edi, dst)
+	b.MovRI(ecx, count)
+	b.Label(loop)
+	b.MovRM(eax, asm.MemIdx(esi, ecx, 4, 0))
+	b.MovMR(asm.MemIdx(edi, ecx, 4, 0), eax)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// memCopy2 copies 2*count words in a hand-unrolled loop: the two loads and
+// stores per iteration use the same base registers with different
+// displacements, so their disjointness is provable even without alias
+// hardware (the contrast case between Figures 2 and 3).
+func (g *gen) memCopy2(src, dst uint32, count uint32) {
+	b := g.b
+	loop := g.l("cp2")
+	b.MovRI(esi, src)
+	b.MovRI(edi, dst)
+	b.MovRI(ecx, count)
+	b.Label(loop)
+	b.MovRM(eax, asm.MemIdx(esi, ecx, 8, 0))
+	b.MovRM(edx, asm.MemIdx(esi, ecx, 8, 4))
+	b.MovMR(asm.MemIdx(edi, ecx, 8, 0), eax)
+	b.MovMR(asm.MemIdx(edi, ecx, 8, 4), edx)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// memSum reduces count words at base into EAX.
+func (g *gen) memSum(base uint32, count uint32) {
+	b := g.b
+	loop := g.l("sum")
+	b.MovRI(esi, base)
+	b.MovRI(ecx, count)
+	b.MovRI(eax, 0)
+	b.Label(loop)
+	b.AluRM("add", eax, asm.MemIdx(esi, ecx, 4, 0))
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// dotProduct multiplies two vectors (alvinn's inner loop shape: two loads,
+// a multiply, an accumulate per element).
+func (g *gen) dotProduct(a, c uint32, count uint32) {
+	b := g.b
+	loop := g.l("dot")
+	b.MovRI(esi, a)
+	b.MovRI(edi, c)
+	b.MovRI(ecx, count)
+	b.MovRI(ebp, 0)
+	b.Label(loop)
+	b.MovRM(eax, asm.MemIdx(esi, ecx, 4, 0))
+	b.MovRM(edx, asm.MemIdx(edi, ecx, 4, 0))
+	b.ImulRR(eax, edx)
+	b.AddRR(ebp, eax)
+	b.MovMR(asm.MemIdx(edi, ecx, 4, 0x800), ebp)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// hashLoop is the compress-style kernel: a dictionary stream update whose
+// index the translator cannot predict (but which never collides within a
+// region), plus a hashed histogram whose buckets occasionally do collide —
+// exercising both the profitable reordering and the alias-fault-and-adapt
+// dynamics on the histogram store alone.
+func (g *gen) hashLoop(table uint32, iters uint32) {
+	b := g.b
+	loop := g.l("hash")
+	b.MovRI(ebx, table)
+	b.MovRI(ecx, iters)
+	b.MovRI(eax, 0x9E3779B9)
+	b.Label(loop)
+	// Mix.
+	b.MovRR(edx, eax)
+	b.ShrRI(edx, 7)
+	b.XorRR(eax, edx)
+	b.AddRR(eax, ecx)
+	// Dictionary stream: index from the loop counter (collision-free).
+	b.MovRR(edx, ecx)
+	b.AndRI(edx, 0x3FF)
+	b.MovRM(esi, asm.MemIdx(ebx, edx, 4, 0))
+	b.AddRR(esi, eax)
+	b.MovMR(asm.MemIdx(ebx, edx, 4, 0), esi)
+	// Hashed histogram: 256 buckets, occasional collisions.
+	b.MovRR(edi, eax)
+	b.ShrRI(edi, 9)
+	b.AndRI(edi, 0xFF)
+	b.MovRM(ebp, asm.MemIdx(ebx, edi, 4, 0x1800))
+	b.AddRR(ebp, esi)
+	b.MovMR(asm.MemIdx(ebx, edi, 4, 0x1800), ebp)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// bitops is the eqntott-style kernel: wide boolean operations over a table.
+func (g *gen) bitops(base uint32, count uint32) {
+	b := g.b
+	loop := g.l("bit")
+	b.MovRI(esi, base)
+	b.MovRI(ecx, count)
+	b.MovRI(ebp, 0xFFFF0000)
+	b.Label(loop)
+	b.MovRM(eax, asm.MemIdx(esi, ecx, 4, 0))
+	b.MovRR(edx, eax)
+	b.ShrRI(edx, 16)
+	b.XorRR(eax, edx)
+	b.AluRR("and", eax, ebp)
+	b.OrRR(eax, ecx)
+	b.Not(eax)
+	b.MovMR(asm.MemIdx(esi, ecx, 4, 0), eax)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// stencil is the tomcatv-style kernel in fixed point: a destination pointer
+// distinct from the source makes load/store disjointness unprovable.
+func (g *gen) stencil(src, dst uint32, count uint32) {
+	b := g.b
+	loop := g.l("sten")
+	b.MovRI(esi, src)
+	b.MovRI(edi, dst)
+	b.MovRI(ecx, count)
+	b.Label(loop)
+	b.MovRM(eax, asm.MemIdx(esi, ecx, 4, 0))
+	b.AluRM("add", eax, asm.MemIdx(esi, ecx, 4, 4))
+	b.AluRM("add", eax, asm.MemIdx(esi, ecx, 4, 8))
+	b.SarRI(eax, 2)
+	b.MovMR(asm.MemIdx(edi, ecx, 4, 4), eax)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// branchy is the gcc-style kernel: a computed jump through a dispatch table
+// plus data-dependent conditional branches.
+func (g *gen) branchy(table uint32, iters uint32) {
+	b := g.b
+	loop := g.l("br")
+	c0, c1, c2, c3 := g.l("case"), g.l("case"), g.l("case"), g.l("case")
+	join := g.l("join")
+	tbl := g.l("tbl")
+	b.MovRI(ecx, iters)
+	b.MovRI(ebp, 0x12345)
+	b.Label(loop)
+	b.ImulRI(ebp, 1103515245)
+	b.AddRI(ebp, 12345)
+	b.MovRR(eax, ebp)
+	b.ShrRI(eax, 16)
+	b.AndRI(eax, 3)
+	b.MovRILabel(ebx, tbl)
+	b.JmpM(asm.MemIdx(ebx, eax, 4, 0))
+	b.Label(c0)
+	b.AddRI(edi, 1)
+	b.Jmp(join)
+	b.Label(c1)
+	b.XorRR(edi, ebp)
+	b.Jmp(join)
+	b.Label(c2)
+	b.ShlRI(edi, 1)
+	b.Jmp(join)
+	b.Label(c3)
+	b.SubRI(edi, 7)
+	b.Label(join)
+	b.TestRR(edi, edi)
+	skip := g.l("skip")
+	b.Jcc(guest.CondS, skip)
+	b.Inc(esi)
+	b.Label(skip)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+	done := g.l("done")
+	b.Jmp(done)
+	b.Align(4)
+	b.Label(tbl)
+	b.D32Label(c0)
+	b.D32Label(c1)
+	b.D32Label(c2)
+	b.D32Label(c3)
+	b.Label(done)
+	_ = table
+}
+
+// callTree exercises call/ret through a small recursive-shaped helper set.
+func (g *gen) callTree(iters uint32) {
+	b := g.b
+	loop, f1, f2, f3, over := g.l("ct"), g.l("f"), g.l("f"), g.l("f"), g.l("over")
+	b.MovRI(ecx, iters)
+	b.Label(loop)
+	b.Call(f1)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+	b.Jmp(over)
+	b.Label(f1)
+	b.AddRI(eax, 1)
+	b.Call(f2)
+	b.Call(f2)
+	b.Ret()
+	b.Label(f2)
+	b.ShlRI(eax, 1)
+	b.Call(f3)
+	b.Ret()
+	b.Label(f3)
+	b.AluRI("xor", eax, 0x5A5A)
+	b.Ret()
+	b.Label(over)
+}
+
+// stringOps is the WordPerfect-style kernel: byte scanning and copying.
+func (g *gen) stringOps(src, dst uint32, count uint32) {
+	b := g.b
+	loop := g.l("str")
+	b.MovRI(esi, src)
+	b.MovRI(edi, dst)
+	b.MovRI(ecx, count)
+	b.Label(loop)
+	b.MovBRM(eax, asm.MemIdx(esi, ecx, 1, 0))
+	b.AddRI(eax, 1)
+	b.AndRI(eax, 0x7F)
+	b.MovBMR(asm.MemIdx(edi, ecx, 1, 0), eax)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// satArith is the multimedia kernel: saturating adds over packed bytes.
+func (g *gen) satArith(base uint32, count uint32) {
+	b := g.b
+	loop, nosat := g.l("sat"), g.l("nosat")
+	b.MovRI(esi, base)
+	b.MovRI(ecx, count)
+	b.Label(loop)
+	b.MovBRM(eax, asm.MemIdx(esi, ecx, 1, 0))
+	b.AddRI(eax, 0x10)
+	b.CmpRI(eax, 0xF0)
+	b.Jcc(guest.CondBE, nosat)
+	b.MovRI(eax, 0xF0)
+	b.Label(nosat)
+	b.MovBMR(asm.MemIdx(esi, ecx, 1, 0), eax)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// physics is the mdljsp2-style kernel: pairwise interaction with divides.
+func (g *gen) physics(pos, vel uint32, count uint32) {
+	b := g.b
+	loop := g.l("phy")
+	b.MovRI(esi, pos)
+	b.MovRI(edi, vel)
+	b.MovRI(ecx, count)
+	b.Label(loop)
+	b.MovRM(eax, asm.MemIdx(esi, ecx, 4, 0))
+	b.MovRM(ebx, asm.MemIdx(edi, ecx, 4, 0))
+	b.ImulRR(eax, eax)
+	b.SarRI(eax, 8)
+	b.AddRI(eax, 1) // keep the divisor nonzero
+	b.MovRR(ebp, eax)
+	b.MovRR(eax, ebx)
+	b.MovRI(edx, 0)
+	b.Div(ebp)
+	b.AddRR(ebx, eax)
+	b.MovMR(asm.MemIdx(edi, ecx, 4, 0), ebx)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// recalc is the spreadsheet kernel: rows x cols dependent updates.
+func (g *gen) recalc(base uint32, rows, cols uint32) {
+	b := g.b
+	outer, inner := g.l("row"), g.l("col")
+	b.MovRI(edx, rows)
+	b.Label(outer)
+	b.MovRI(ecx, cols)
+	b.MovRI(ebx, base)
+	b.Label(inner)
+	b.MovRM(eax, asm.MemIdx(ebx, ecx, 4, 0))
+	b.AluRM("add", eax, asm.MemIdx(ebx, ecx, 4, 4))
+	b.SarRI(eax, 1)
+	b.AddRI(eax, 3)
+	b.MovMR(asm.MemIdx(ebx, ecx, 4, 0x800), eax)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, inner)
+	b.Dec(edx)
+	b.Jcc(guest.CondNE, outer)
+}
+
+// mmioBanner writes a string into the memory-mapped text buffer and echoes
+// it to the serial port — the boot-time console traffic every OS has.
+func (g *gen) mmioBanner(text string, reps uint32) {
+	b := g.b
+	outer, loop := g.l("bano"), g.l("ban")
+	strLbl := g.l("bstr")
+	over := g.l("bover")
+	b.MovRI(edx, reps)
+	b.Label(outer)
+	b.MovRILabel(esi, strLbl)
+	b.MovRI(edi, dev.ConsoleMMIOBase)
+	b.MovRI(ecx, uint32(len(text)))
+	b.Label(loop)
+	b.MovBRM(eax, asm.MemIdx(esi, ecx, 1, 0))
+	b.MovBMR(asm.MemIdx(edi, ecx, 1, 0), eax) // MMIO store
+	b.Out(dev.ConsoleDataPort, eax)           // port I/O
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+	b.Dec(edx)
+	b.Jcc(guest.CondNE, outer)
+	b.Jmp(over)
+	b.Label(strLbl)
+	// The loop indexes from len down to 1, so store the text reversed and
+	// the console sees it forward.
+	rev := make([]byte, len(text)+1)
+	rev[0] = ' '
+	for i := 0; i < len(text); i++ {
+		rev[1+i] = text[len(text)-1-i]
+	}
+	b.Bytes(rev...)
+	b.Label(over)
+	b.Align(2)
+}
+
+// devicePoll reads device status registers in a polling loop — the
+// IN-heavy probing every BIOS does.
+func (g *gen) devicePoll(reps uint32) {
+	b := g.b
+	loop := g.l("poll")
+	b.MovRI(ecx, reps)
+	b.Label(loop)
+	b.In(eax, dev.ConsoleStatusPort)
+	b.AddRR(ebx, eax)
+	b.In(eax, dev.TimerCountPort)
+	b.AddRR(ebx, eax)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+}
+
+// bltOp programs the BLT engine through its MMIO registers: a burst of
+// irrevocable device stores followed by a DMA transfer.
+func (g *gen) bltOp(src, dst, count uint32, op uint32) {
+	b := g.b
+	b.MovRI(ebx, dev.BltMMIOBase)
+	b.MovRI(eax, src)
+	b.MovMR(asm.MemD(ebx, dev.BltRegSrc), eax)
+	b.MovRI(eax, dst)
+	b.MovMR(asm.MemD(ebx, dev.BltRegDst), eax)
+	b.MovRI(eax, count)
+	b.MovMR(asm.MemD(ebx, dev.BltRegCount), eax)
+	b.MovRI(eax, op)
+	b.MovMR(asm.MemD(ebx, dev.BltRegOp), eax)
+	b.MovRI(eax, 1)
+	b.MovMR(asm.MemD(ebx, dev.BltRegGo), eax)
+}
+
+// diskLoad DMA-reads sectors from the disk into RAM (paging activity).
+func (g *gen) diskLoad(lba, addr, sectors uint32) {
+	b := g.b
+	b.MovRI(eax, lba)
+	b.Out(dev.DiskLBAPort, eax)
+	b.MovRI(eax, addr)
+	b.Out(dev.DiskAddrPort, eax)
+	b.MovRI(eax, sectors)
+	b.Out(dev.DiskCountPort, eax)
+	b.MovRI(eax, dev.DiskCmdRead)
+	b.Out(dev.DiskCmdPort, eax)
+}
+
+// smcPatchLoop is the Doom idiom of §3.6.4: the outer loop patches the
+// imm32 of an instruction inside the hot inner loop.
+func (g *gen) smcPatchLoop(outer, inner uint32) {
+	b := g.b
+	o, i := g.l("smco"), g.l("smci")
+	patch := g.l("patch")
+	b.MovRI(edx, outer)
+	b.Label(o)
+	// Rewrite the immediate of "add eax, imm" (imm at patch+2).
+	b.MovRILabel(ebx, patch)
+	b.MovMR(asm.MemD(ebx, 2), edx)
+	b.MovRI(ecx, inner)
+	b.MovRI(eax, 0)
+	b.Label(i)
+	b.Label(patch)
+	b.AddRI(eax, 0x1)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, i)
+	b.AddRR(edi, eax)
+	b.Dec(edx)
+	b.Jcc(guest.CondNE, o)
+}
+
+// smcVersionToggle is the BLT-driver idiom of §3.6.5: the routine's opcode
+// alternates between versions between runs of a hot loop.
+func (g *gen) smcVersionToggle(outer, inner uint32) {
+	b := g.b
+	o, i := g.l("vto"), g.l("vti")
+	routine := g.l("vtr")
+	b.MovRI(edx, outer)
+	b.Label(o)
+	// Opcode 0x20 = ADDrr, 0x24 = SUBrr: toggle by outer parity.
+	b.MovRR(ebx, edx)
+	b.AndRI(ebx, 1)
+	b.ShlRI(ebx, 2)
+	b.AddRI(ebx, 0x20)
+	b.MovRILabel(esi, routine)
+	b.MovBMR(asm.Mem(esi), ebx)
+	b.MovRI(ecx, inner)
+	b.MovRI(eax, 100000)
+	b.Label(i)
+	b.Label(routine)
+	b.AddRR(eax, ecx)
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, i)
+	b.AddRR(edi, eax)
+	b.Dec(edx)
+	b.Jcc(guest.CondNE, o)
+}
+
+// mixedPhase alternates a data write to a blob that shares a *page* (but
+// not a chunk) with hot code, and a pass over that hot code. Without
+// fine-grain protection every repetition faults and invalidates the page's
+// translations; with it, only the first write faults (the Table 1
+// dynamics).
+func (g *gen) mixedPhase(reps, iters uint32) {
+	b := g.b
+	blob, over := g.l("mpblob"), g.l("mpover")
+	g.repeat(reps, func() {
+		b.MovRILabel(ebx, blob)
+		b.MovMR(asm.Mem(ebx), ecx)
+		b.MovMR(asm.MemD(ebx, 4), ecx)
+		inner := g.l("mp")
+		b.MovRI(ecx, iters)
+		b.MovRI(eax, 0)
+		b.Label(inner)
+		b.AddRR(eax, ecx)
+		b.AluRI("xor", eax, 0x35)
+		b.Dec(ecx)
+		b.Jcc(guest.CondNE, inner)
+	})
+	b.Jmp(over)
+	b.Align(128)
+	b.Label(blob)
+	b.Space(128)
+	b.Label(over)
+}
+
+// mixedData emits a data word immediately adjacent to a hot loop (BIOS-like
+// mixed code and data in the same chunk) and a loop that stores to it.
+func (g *gen) mixedData(iters uint32) {
+	b := g.b
+	loop, word, over := g.l("mx"), g.l("mxw"), g.l("mxo")
+	b.MovRI(ecx, iters)
+	b.MovRILabel(ebx, word)
+	b.Label(loop)
+	b.MovMR(asm.Mem(ebx), ecx) // store into the code page/chunk
+	b.AluRM("add", eax, asm.Mem(ebx))
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, loop)
+	b.Jmp(over)
+	b.Label(word)
+	b.D32(0)
+	b.Label(over)
+}
+
+// timerSetup installs a tick handler and programs the interval timer.
+func (g *gen) timerSetup(period uint32, tickCounter uint32) {
+	b := g.b
+	handler, over := g.l("tick"), g.l("tkov")
+	b.MovMI(asm.Abs(guest.IVTBase+4*guest.VecIRQBase), 0) // placeholder, patched next
+	// Store handler address into IVT[timer].
+	b.MovRILabel(eax, handler)
+	b.MovMR(asm.Abs(guest.IVTBase+4*guest.VecIRQBase), eax)
+	b.MovRI(eax, period)
+	b.Out(dev.TimerPeriodPort, eax)
+	b.Jmp(over)
+	b.Label(handler)
+	b.Push(eax)
+	b.MovRM(eax, asm.Abs(tickCounter))
+	b.Inc(eax)
+	b.MovMR(asm.Abs(tickCounter), eax)
+	b.Pop(eax)
+	b.Iret()
+	b.Label(over)
+}
+
+// listWalk is the lisp-interpreter-style kernel: serial pointer chasing
+// through a linked list laid out in the data area. Loads are fully
+// dependent, so reordering has nothing to win — the li-shaped low end of
+// Figure 2.
+func (g *gen) listWalk(base uint32, nodes, laps uint32) {
+	b := g.b
+	init, body := g.l("lw_init"), g.l("lw")
+	// Build the list: 16-byte nodes; node[i].next = &node[i+1] and the
+	// last node wraps to the first.
+	b.MovRI(ecx, nodes)
+	b.Label(init)
+	b.MovRR(edx, ecx)
+	b.Dec(edx)
+	b.ShlRI(edx, 4)
+	b.AddRI(edx, base) // edx = &node[i]
+	b.MovRR(esi, edx)
+	b.AddRI(esi, 16)
+	b.MovMR(asm.Mem(edx), esi)     // next pointer
+	b.MovMR(asm.MemD(edx, 4), ecx) // payload
+	b.Dec(ecx)
+	b.Jcc(guest.CondNE, init)
+	b.MovRI(edx, base+(nodes-1)*16)
+	b.MovRI(eax, base)
+	b.MovMR(asm.Mem(edx), eax) // wrap
+
+	// Walk it.
+	b.MovRI(edi, laps*nodes)
+	b.MovRI(esi, base)
+	b.MovRI(ebp, 0)
+	b.Label(body)
+	b.AluRM("add", ebp, asm.MemD(esi, 4)) // consume payload
+	b.MovRM(esi, asm.Mem(esi))            // chase
+	b.Dec(edi)
+	b.Jcc(guest.CondNE, body)
+}
+
+// installStubIRQs installs a trivial IRET handler for the given IRQ lines,
+// as any real OS does for device interrupts it only polls.
+func (g *gen) installStubIRQs(lines ...int) {
+	b := g.b
+	stub, over := g.l("irqstub"), g.l("irqover")
+	b.Jmp(over)
+	b.Label(stub)
+	b.Iret()
+	b.Label(over)
+	for _, line := range lines {
+		b.MovRILabel(eax, stub)
+		b.MovMR(asm.Abs(guest.IVTBase+4*uint32(guest.VecIRQBase+line)), eax)
+	}
+}
+
+// timerStop disables the timer.
+func (g *gen) timerStop() {
+	b := g.b
+	b.MovRI(eax, 0)
+	b.Out(dev.TimerPeriodPort, eax)
+}

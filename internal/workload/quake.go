@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"cms/internal/asm"
+	"cms/internal/dev"
+	"cms/internal/guest"
+)
+
+// Quake analog constants, exported for the §3.6.2 experiment: the benchmark
+// counts rendered frames at QuakeFrameVar, and the harness divides by
+// molecules to get a "frame rate".
+const (
+	// QuakeFrames is how many frames the demo renders.
+	QuakeFrames = 50
+	// QuakeFrameVar is the RAM address of the frame counter.
+	QuakeFrameVar = 0xE880
+	// quakeFB is the software framebuffer the blitter renders into.
+	quakeFB = 0xC800
+)
+
+// buildQuake builds the Quake Demo2 analog: a frame loop whose inner blit
+// routine is performance-critical self-modifying code. Each frame
+//
+//   - writes level state into data words living in the same 128-byte chunk
+//     as the blit code (the mixed code-and-data situation self-revalidation
+//     is for: the writes do not change the code, §3.6.2),
+//   - patches the blit routine's immediate (the Doom idiom, §3.6.4),
+//   - runs the hot blit loop, and
+//   - pushes the frame to the "GPU" with a BLT MMIO burst.
+func buildQuake() *Image {
+	g := newGen(0x1000, 21)
+	b := g.b
+
+	b.Label("_start")
+	b.MovRI(esp, stackTop)
+	g.installStubIRQs(dev.IRQDisk, dev.IRQBlt)
+	g.memFill(dataA, 512)
+	b.MovMI(asm.Abs(QuakeFrameVar), 0)
+
+	frame := g.l("frame")
+	b.MovRI(edx, QuakeFrames)
+	b.Label(frame)
+
+	// Level state update: stores into the blit routine's chunk.
+	b.MovRILabel(ebx, "leveldata")
+	b.MovMR(asm.Mem(ebx), edx)
+
+	// Patch the blit shade: imm32 of "add eax, imm" at blit_patch+2 (the
+	// pass-0 copy of the blit; the others keep their baked constant).
+	b.MovRILabel(ebx, "blit_patch")
+	b.MovMR(asm.MemD(ebx, 2), edx)
+
+	// Four render passes per frame, each preceded by particle-state writes
+	// into a buffer that shares the blit code's page but not its chunk —
+	// the write/execute alternation fine-grain protection filters (Table 1).
+	for pass := 0; pass < 4; pass++ {
+		b.MovRILabel(ebx, "particles")
+		b.MovMR(asm.MemD(ebx, uint32(pass)*8), edx)
+		b.MovMR(asm.MemD(ebx, uint32(pass)*8+4), edx)
+
+		blit := g.l("blit")
+		b.MovRI(ecx, 300)
+		b.MovRI(edi, quakeFB+uint32(pass)*0x200)
+		b.MovRI(esi, dataA) // texture
+		b.Label(blit)
+		b.MovRM(eax, asm.MemIdx(esi, ecx, 4, 0)) // texel fetch
+		if pass == 0 {
+			b.Label("blit_patch")
+		}
+		b.AddRI(eax, 0x1) // shade, patched per frame
+		b.ShrRI(eax, 3)
+		b.MovBMR(asm.MemIdx(edi, ecx, 1, 0), eax)
+		b.Dec(ecx)
+		b.Jcc(guest.CondNE, blit)
+	}
+	b.Jmp("blit_done")
+	// Data words sharing the pass-0 blit code's chunk.
+	b.Label("leveldata")
+	b.D32(0)
+	b.Label("blit_done")
+
+	// Present the frame: BLT copy framebuffer to the display area.
+	g.bltOp(quakeFB, quakeFB+0x800, 1200, dev.BltOpCopy)
+
+	// Frame accounting.
+	b.MovRM(eax, asm.Abs(QuakeFrameVar))
+	b.Inc(eax)
+	b.MovMR(asm.Abs(QuakeFrameVar), eax)
+
+	b.Dec(edx)
+	b.Jcc(guest.CondNE, frame)
+	b.Hlt()
+	b.Align(128)
+	b.Label("particles")
+	b.Space(128)
+	return finish(b, b.LabelAddr("_start"), nil)
+}
+
+func init() {
+	registerApp("quake_demo2", "Quake Demo2 (DOS)", buildQuake)
+}

@@ -1,0 +1,127 @@
+// Package workload provides the benchmark suite: synthetic g86 analogs of
+// the paper's Appendix A benchmarks. The real suite (Windows/Linux/DOS/OS2
+// boots, SPECcpu92, SPECint2000 crafty, Winstone, multimedia, Quake) is
+// proprietary x86 software we cannot run; each analog is constructed to
+// exhibit the *phenomenon* the paper measures on the original — boot images
+// heavy in MMIO, DMA and mixed code-and-data; compute kernels with
+// reorderable memory traffic; games with performance-critical self-modifying
+// code — so the relative shapes of Figures 2-3 and Table 1 reproduce. See
+// DESIGN.md §2 for the substitution argument.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"cms/internal/asm"
+)
+
+// Kind classifies a workload for the paper's boot/application split.
+type Kind uint8
+
+const (
+	// Boot marks OS-boot analogs (system code: MMIO, DMA, SMC in drivers).
+	Boot Kind = iota
+	// App marks application analogs (SPEC kernels, productivity, games).
+	App
+)
+
+func (k Kind) String() string {
+	if k == Boot {
+		return "boot"
+	}
+	return "app"
+}
+
+// Image is a built workload ready to load.
+type Image struct {
+	Org   uint32
+	Data  []byte
+	Entry uint32
+	// Disk is the disk image (nil if the workload does no DMA I/O).
+	Disk []byte
+	// RAM is the suggested RAM size.
+	RAM uint32
+	// Budget is a generous instruction budget; the program halts well
+	// before it.
+	Budget uint64
+}
+
+// Workload is one generatable benchmark.
+type Workload struct {
+	Name string
+	Kind Kind
+	// Paper is the Appendix A benchmark this stands in for.
+	Paper string
+	Build func() *Image
+}
+
+var registry []Workload
+
+func register(w Workload) { registry = append(registry, w) }
+
+// All returns every workload, boots first, in a stable order.
+func All() []Workload {
+	out := append([]Workload(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Boots returns the OS-boot analogs.
+func Boots() []Workload { return filter(Boot) }
+
+// Apps returns the application analogs.
+func Apps() []Workload { return filter(App) }
+
+func filter(k Kind) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Kind == k {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// finish assembles a builder into an Image with defaults.
+func finish(b *asm.Builder, entry uint32, disk []byte) *Image {
+	img := b.MustAssemble()
+	return &Image{
+		Org:    b.Origin(),
+		Data:   img,
+		Entry:  entry,
+		Disk:   disk,
+		RAM:    1 << 21,
+		Budget: 40_000_000,
+	}
+}
+
+// prng is a deterministic linear congruential generator for workload
+// construction (stdlib-only, fixed behavior forever: workloads must be
+// byte-identical across runs and Go versions).
+type prng struct{ s uint64 }
+
+func newPrng(seed uint64) *prng { return &prng{s: seed*2862933555777941757 + 3037000493} }
+
+func (p *prng) next() uint32 {
+	p.s = p.s*6364136223846793005 + 1442695040888963407
+	return uint32(p.s >> 33)
+}
+
+// intn returns a value in [0, n).
+func (p *prng) intn(n int) int { return int(p.next() % uint32(n)) }

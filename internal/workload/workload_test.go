@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"cms/internal/cms"
+	"cms/internal/dev"
+	"cms/internal/guest"
+)
+
+// run executes a built image under the given config until halt.
+func run(t *testing.T, img *Image, cfg cms.Config) *cms.Engine {
+	t.Helper()
+	plat := dev.NewPlatform(img.RAM, img.Disk)
+	plat.Bus.WriteRaw(img.Org, img.Data)
+	e := cms.New(plat, img.Entry, cfg)
+	if err := e.Run(img.Budget); err != nil {
+		t.Fatalf("run: %v (eip %#x)", err, e.CPU().EIP)
+	}
+	if !e.CPU().Halted {
+		t.Fatal("workload did not halt")
+	}
+	return e
+}
+
+func TestRegistryShape(t *testing.T) {
+	if len(Boots()) != 8 {
+		t.Errorf("boots = %d, want 8 (paper Appendix A)", len(Boots()))
+	}
+	if len(Apps()) < 14 {
+		t.Errorf("apps = %d, want >= 14", len(Apps()))
+	}
+	if _, err := ByName("quake_demo2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name must fail")
+	}
+	for _, w := range All() {
+		if w.Paper == "" {
+			t.Errorf("%s: missing paper benchmark mapping", w.Name)
+		}
+	}
+}
+
+func TestBuildsAreDeterministic(t *testing.T) {
+	for _, w := range All() {
+		a, b := w.Build(), w.Build()
+		if !bytes.Equal(a.Data, b.Data) || a.Entry != b.Entry {
+			t.Errorf("%s: non-deterministic build", w.Name)
+		}
+	}
+}
+
+// Every workload must halt under CMS and under pure interpretation with
+// identical guest-visible results.
+func TestAllWorkloadsEquivalent(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			img := w.Build()
+			e := run(t, img, cms.DefaultConfig())
+			ref := run(t, img, cms.Config{NoTranslate: true})
+
+			for r := guest.Reg(0); r < guest.NumRegs; r++ {
+				if e.CPU().Regs[r] != ref.CPU().Regs[r] {
+					t.Errorf("%s = %#x, reference %#x", r, e.CPU().Regs[r], ref.CPU().Regs[r])
+				}
+			}
+			if got, want := e.Plat.Console.OutputString(), ref.Plat.Console.OutputString(); got != want {
+				t.Errorf("console %q, reference %q", got, want)
+			}
+			if !bytes.Equal(e.Plat.Console.Text(), ref.Plat.Console.Text()) {
+				t.Error("text buffer mismatch")
+			}
+			if e.Metrics.Translations == 0 {
+				t.Error("workload too cold: nothing was translated")
+			}
+			if e.Metrics.GuestTotal() < 20_000 {
+				t.Errorf("workload too small: %d guest instructions", e.Metrics.GuestTotal())
+			}
+			t.Logf("%s: %d guest insns, %.2f mols/insn, %d translations",
+				w.Name, e.Metrics.GuestTotal(), e.Metrics.MPI(), e.Metrics.Translations)
+		})
+	}
+}
+
+// The boot analogs must actually exercise the paper's system-level
+// phenomena.
+func TestBootPhenomena(t *testing.T) {
+	img, _ := ByName("win98_boot")
+	e := run(t, img.Build(), cms.DefaultConfig())
+	if e.Plat.Disk.Reads == 0 {
+		t.Error("boot did no disk DMA")
+	}
+	if e.Metrics.ProtFaults == 0 {
+		t.Error("boot hit no protected code pages (mixed code/data missing)")
+	}
+	if len(e.Plat.Console.OutputString()) == 0 {
+		t.Error("boot printed nothing")
+	}
+	lx, _ := ByName("linux_boot")
+	el := run(t, lx.Build(), cms.DefaultConfig())
+	if el.Metrics.Interrupts == 0 {
+		t.Error("timer never interrupted the boot")
+	}
+}
+
+// The Quake analog must render all frames and exercise SMC.
+func TestQuakePhenomena(t *testing.T) {
+	img, _ := ByName("quake_demo2")
+	e := run(t, img.Build(), cms.DefaultConfig())
+	frames := e.Plat.Bus.Read32(QuakeFrameVar)
+	if frames != QuakeFrames {
+		t.Errorf("frames = %d, want %d", frames, QuakeFrames)
+	}
+	if e.Metrics.ProtFaults == 0 {
+		t.Error("quake never hit write protection (SMC missing)")
+	}
+	if e.Plat.Blt.Ops() != QuakeFrames {
+		t.Errorf("BLT presented %d frames", e.Plat.Blt.Ops())
+	}
+}
+
+// The version-toggling workload must exercise translation groups.
+func TestCorelUsesGroups(t *testing.T) {
+	img, _ := ByName("winstone_corel")
+	e := run(t, img.Build(), cms.DefaultConfig())
+	if e.Cache.Stats.GroupRetires == 0 {
+		t.Error("no group retires in the version-toggling workload")
+	}
+}

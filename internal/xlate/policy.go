@@ -1,0 +1,136 @@
+// Package xlate is the dynamic binary translator: it selects hot guest
+// regions from interpreter profiles, lowers them to IR, optimizes, allocates
+// host registers, and list-schedules speculative VLIW code.
+//
+// Speculation policy is explicit. A fresh translation is aggressive: loads
+// reorder across stores under alias-hardware protection (§3.5), potentially
+// faulting operations hoist above branch exits (§3.2), and code pages are
+// assumed immutable (§3.6). Each knob can be turned conservative, globally
+// or per guest instruction; the CMS runtime accumulates these adjustments in
+// response to recurring faults (adaptive retranslation).
+package xlate
+
+// Policy is the set of speculation decisions for one translation. The zero
+// value is the most aggressive policy; helpers return progressively
+// conservative variants. Policies are value types: copies are independent
+// except for the shared per-address sets, which only ever grow.
+type Policy struct {
+	// MaxInsns caps the region length (0 means DefaultMaxInsns).
+	MaxInsns int
+
+	// Unroll is how many times the trace may revisit the same instruction
+	// address (loop unrolling inside a region; 0 means DefaultUnroll, 1
+	// disables unrolling). Large regions spanning several loop iterations
+	// are what give the scheduler cross-iteration reordering freedom — the
+	// paper's regions "may be fairly large ... and include up to 200 x86
+	// instructions".
+	Unroll int
+
+	// NoReorderMem disables all load/store reordering (the Figure 2
+	// experiment: "entirely suppressing memory reordering").
+	NoReorderMem bool
+
+	// NoAliasHW permits reordering only across provably disjoint
+	// references, as a machine without alias hardware must (Figure 3).
+	NoAliasHW bool
+
+	// NoHoistLoads keeps potentially faulting operations below the branch
+	// exits that precede them (no control speculation).
+	NoHoistLoads bool
+
+	// SelfCheck makes the translation verify its own source bytes before
+	// any guest effect (§3.6.3).
+	SelfCheck bool
+
+	// Serialize lists guest instruction addresses whose memory operations
+	// must execute at a committed boundary, in order — the adaptive
+	// response to recurring MMIO speculation faults (§3.4).
+	Serialize map[uint32]bool
+
+	// NoReorder lists guest instruction addresses whose memory operations
+	// stay in program order (but need no commit barrier).
+	NoReorder map[uint32]bool
+
+	// ImmLoad lists guest instruction addresses whose 32-bit immediate
+	// field is loaded from the code stream at run time instead of being
+	// baked into the translation — the stylized-SMC response (§3.6.4).
+	ImmLoad map[uint32]bool
+}
+
+// DefaultMaxInsns is the paper's region cap ("up to 200 x86 instructions").
+const DefaultMaxInsns = 200
+
+// DefaultUnroll is the default revisit budget per instruction address.
+const DefaultUnroll = 4
+
+// EffUnroll returns the effective unroll factor.
+func (p Policy) EffUnroll() int {
+	if p.Unroll <= 0 {
+		return DefaultUnroll
+	}
+	return p.Unroll
+}
+
+// EffMaxInsns returns the effective region cap.
+func (p Policy) EffMaxInsns() int {
+	if p.MaxInsns <= 0 {
+		return DefaultMaxInsns
+	}
+	return p.MaxInsns
+}
+
+// WithSerialize returns p with addr added to the serialize set.
+func (p Policy) WithSerialize(addr uint32) Policy {
+	p.Serialize = addSet(p.Serialize, addr)
+	return p
+}
+
+// WithNoReorder returns p with addr added to the in-order set.
+func (p Policy) WithNoReorder(addr uint32) Policy {
+	p.NoReorder = addSet(p.NoReorder, addr)
+	return p
+}
+
+// WithImmLoad returns p with addr added to the stylized-immediate set.
+func (p Policy) WithImmLoad(addr uint32) Policy {
+	p.ImmLoad = addSet(p.ImmLoad, addr)
+	return p
+}
+
+func addSet(s map[uint32]bool, addr uint32) map[uint32]bool {
+	n := make(map[uint32]bool, len(s)+1)
+	for k := range s {
+		n[k] = true
+	}
+	n[addr] = true
+	return n
+}
+
+// Merge returns the union of the conservativeness of p and q. The paper
+// notes that CMS "keeps track of the policies used, so that if another
+// problem arises requiring different conservative policies, CMS will add
+// them to the existing ones to avoid bouncing between translations with
+// incomparable policies".
+func (p Policy) Merge(q Policy) Policy {
+	out := p
+	if q.MaxInsns > 0 && (out.MaxInsns == 0 || q.MaxInsns < out.MaxInsns) {
+		out.MaxInsns = q.MaxInsns
+	}
+	if q.Unroll > 0 && (out.Unroll == 0 || q.Unroll < out.Unroll) {
+		out.Unroll = q.Unroll
+	}
+	out.NoReorderMem = out.NoReorderMem || q.NoReorderMem
+	out.NoAliasHW = out.NoAliasHW || q.NoAliasHW
+	out.NoHoistLoads = out.NoHoistLoads || q.NoHoistLoads
+	out.SelfCheck = out.SelfCheck || q.SelfCheck
+	for a := range q.Serialize {
+		out.Serialize = addSet(out.Serialize, a)
+	}
+	for a := range q.NoReorder {
+		out.NoReorder = addSet(out.NoReorder, a)
+	}
+	for a := range q.ImmLoad {
+		out.ImmLoad = addSet(out.ImmLoad, a)
+	}
+	return out
+}

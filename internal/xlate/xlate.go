@@ -1,0 +1,304 @@
+package xlate
+
+import (
+	"errors"
+	"fmt"
+
+	"cms/internal/guest"
+	"cms/internal/interp"
+	"cms/internal/ir"
+	"cms/internal/mem"
+	"cms/internal/vliw"
+)
+
+// Translation is the unit the translation cache stores: scheduled VLIW code
+// for one guest region, plus the metadata the runtime needs for chaining,
+// invalidation, self-checking, and adaptive retranslation.
+type Translation struct {
+	Entry  uint32
+	Insns  []guest.Insn
+	Exits  []ir.Exit
+	Code   *vliw.Code
+	Policy Policy
+
+	// SrcRanges are the coalesced guest code byte ranges this translation
+	// was made from.
+	SrcRanges []ir.SrcRange
+	// Snapshot holds the source bytes per range as of translation time.
+	Snapshot [][]byte
+	// Mask holds per-byte compare masks (0xFF = must match); bytes of
+	// stylized immediate fields are 0x00.
+	Mask [][]byte
+
+	prologue     *vliw.Code
+	prologuePass int
+	prologueFail int
+}
+
+// GuestLen returns the number of guest instructions covered.
+func (t *Translation) GuestLen() int { return len(t.Insns) }
+
+// CodeAtoms returns the static code size in atoms.
+func (t *Translation) CodeAtoms() int { return t.Code.NumAtoms() }
+
+// CodeMolecules returns the static code size in molecules.
+func (t *Translation) CodeMolecules() int { return len(t.Code.Mols) }
+
+// Pages returns the distinct guest pages holding source bytes.
+func (t *Translation) Pages() []uint32 {
+	seen := make(map[uint32]bool)
+	var out []uint32
+	for _, r := range t.SrcRanges {
+		for p := mem.PageOf(r.Addr); p <= mem.PageOf(r.Addr+r.Len-1); p++ {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Chunks returns, per page, the fine-grain chunk mask of source bytes
+// (§3.6.1).
+func (t *Translation) Chunks() map[uint32]uint32 {
+	out := make(map[uint32]uint32)
+	for _, r := range t.SrcRanges {
+		for a := r.Addr; a < r.Addr+r.Len; a += mem.ChunkSize {
+			out[mem.PageOf(a)] |= 1 << mem.ChunkOf(a)
+		}
+		last := r.Addr + r.Len - 1
+		out[mem.PageOf(last)] |= 1 << mem.ChunkOf(last)
+	}
+	return out
+}
+
+// Covers reports whether addr lies in the translation's source bytes.
+func (t *Translation) Covers(addr uint32) bool {
+	for _, r := range t.SrcRanges {
+		if addr >= r.Addr && addr < r.Addr+r.Len {
+			return true
+		}
+	}
+	return false
+}
+
+// CoversRange reports whether [addr, addr+n) intersects the source bytes.
+func (t *Translation) CoversRange(addr uint32, n int) bool {
+	for _, r := range t.SrcRanges {
+		if addr < r.Addr+r.Len && r.Addr < addr+uint32(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// SourceMatches compares the current memory contents against the snapshot,
+// honoring the stylized-immediate mask — the comparison the prologue of a
+// self-revalidating translation performs (§3.6.2) and translation groups
+// use to find a matching old version (§3.6.5).
+func (t *Translation) SourceMatches(bus *mem.Bus) bool {
+	for ri, r := range t.SrcRanges {
+		cur := bus.ReadRaw(r.Addr, int(r.Len))
+		snap := t.Snapshot[ri]
+		mask := t.Mask[ri]
+		for i := range snap {
+			if (cur[i]^snap[i])&mask[i] != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Prologue returns the self-revalidation check code (built on first use)
+// and the exit indices meaning "source unchanged, run the body" and
+// "source changed".
+func (t *Translation) Prologue() (code *vliw.Code, pass, fail int, err error) {
+	if t.prologue == nil {
+		words := checkWordsFor(t)
+		t.prologue, t.prologuePass, t.prologueFail, err = buildCheckCode(words)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	return t.prologue, t.prologuePass, t.prologueFail, nil
+}
+
+// checkWordsFor enumerates the 32-bit comparison units over the snapshot.
+func checkWordsFor(t *Translation) []checkWord {
+	var words []checkWord
+	for ri, r := range t.SrcRanges {
+		snap, mask := t.Snapshot[ri], t.Mask[ri]
+		for off := uint32(0); off < r.Len; off += 4 {
+			var want, m uint32
+			for b := uint32(0); b < 4 && off+b < r.Len; b++ {
+				want |= uint32(snap[off+b]) << (8 * b)
+				m |= uint32(mask[off+b]) << (8 * b)
+			}
+			if m == 0 {
+				continue
+			}
+			words = append(words, checkWord{addr: r.Addr + off, want: want, mask: m})
+		}
+	}
+	return words
+}
+
+// buildCheckCode builds a standalone source-verification code unit (the
+// §3.6.2 prologue): exit pass if every word matches, exit fail otherwise.
+// It commits nothing and touches only temporaries.
+func buildCheckCode(words []checkWord) (code *vliw.Code, pass, fail int, err error) {
+	reg := &ir.Region{}
+	em := &emitter{region: reg, pol: Policy{}, host: vliw.TM5800()}
+	// Reuse the self-check emitter but without alias entries (a prologue
+	// runs at a boundary; there are no stores to guard against).
+	em.aliasNext = vliw.AliasTableSize // exhaust entries: none allocated
+	em.emitSelfCheck(words, vliw.RTempLast, vliw.RTempLast-1, vliw.RTempLast-2)
+	fail = int(em.failExit)
+	passExit := reg.AddExit(ir.Exit{Kind: ir.ExitJump})
+	a := vliw.Atom{Op: vliw.AExit, Imm: uint32(passExit), Commit: false, GIdx: -1, ProtIdx: vliw.NoAliasIdx}
+	sa := em.push(satom{a: a, isExit: true})
+	sa.exitIdx = passExit
+	em.buildDeps()
+	code, err = em.schedule()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if verr := code.Validate(); verr != nil {
+		return nil, 0, 0, fmt.Errorf("xlate: prologue validation: %w", verr)
+	}
+	return code, int(passExit), fail, nil
+}
+
+// Translator turns hot guest regions into Translations.
+type Translator struct {
+	Bus  *mem.Bus
+	Prof *interp.Profile
+
+	// Host is the target microarchitecture generation (zero value: TM5800).
+	// Retargeting the translator is all it takes to move to new hardware —
+	// the guest-visible architecture is unaffected (§2).
+	Host vliw.HostConfig
+
+	// Translated counts successful translations; InsnsTranslated counts
+	// guest instructions they covered (the translator work metric).
+	Translated      uint64
+	InsnsTranslated uint64
+}
+
+// selfCheckReserve is how many host registers the self-check machinery
+// reserves from the allocator.
+const selfCheckReserve = 3
+
+// host returns the effective target microarchitecture.
+func (tr *Translator) host() vliw.HostConfig {
+	if tr.Host.Width == 0 {
+		return vliw.TM5800()
+	}
+	return tr.Host
+}
+
+// Translate builds a translation for the region starting at entry under the
+// given policy. It shrinks the region and retries on register pressure, and
+// returns ErrUntranslatable when no region can be formed at all.
+func (tr *Translator) Translate(entry uint32, pol Policy) (*Translation, error) {
+	cap := pol.EffMaxInsns()
+	for {
+		t, err := tr.translateOnce(entry, pol, cap)
+		if err == nil {
+			tr.Translated++
+			tr.InsnsTranslated += uint64(len(t.Insns))
+			return t, nil
+		}
+		if errors.Is(err, errRegPressure) && cap > 4 {
+			cap /= 2
+			continue
+		}
+		return nil, err
+	}
+}
+
+func (tr *Translator) translateOnce(entry uint32, pol Policy, capInsns int) (*Translation, error) {
+	p := pol
+	p.MaxInsns = capInsns
+	insns, err := selectRegion(tr.Bus, tr.Prof, entry, p)
+	if err != nil {
+		return nil, err
+	}
+	region, err := lower(entry, insns, p, tr.Prof)
+	if err != nil {
+		return nil, err
+	}
+	rename(region)
+	optimize(region)
+
+	reserve := 0
+	if p.SelfCheck {
+		reserve = selfCheckReserve
+	}
+	assign, err := regalloc(region, reserve)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Translation{
+		Entry:     entry,
+		Insns:     insns,
+		Policy:    p,
+		SrcRanges: region.SrcRanges(),
+	}
+	t.snapshot(tr.Bus, p)
+
+	em := &emitter{region: region, pol: p, host: tr.host(), assign: assign}
+	if p.SelfCheck {
+		em.emitSelfCheck(checkWordsFor(t), vliw.RTempLast, vliw.RTempLast-1, vliw.RTempLast-2)
+	}
+	if err := em.codegen(); err != nil {
+		return nil, err
+	}
+	em.buildDeps()
+	code, err := em.schedule()
+	if err != nil {
+		return nil, err
+	}
+	if verr := code.ValidateWith(tr.host()); verr != nil {
+		return nil, fmt.Errorf("xlate: generated invalid code for %#x: %w", entry, verr)
+	}
+	t.Code = code
+	t.Exits = region.Exits
+	return t, nil
+}
+
+// snapshot captures the source bytes and builds the stylized-immediate mask.
+func (t *Translation) snapshot(bus *mem.Bus, pol Policy) {
+	t.Snapshot = make([][]byte, len(t.SrcRanges))
+	t.Mask = make([][]byte, len(t.SrcRanges))
+	for ri, r := range t.SrcRanges {
+		t.Snapshot[ri] = bus.ReadRaw(r.Addr, int(r.Len))
+		m := make([]byte, r.Len)
+		for i := range m {
+			m[i] = 0xFF
+		}
+		t.Mask[ri] = m
+	}
+	if len(pol.ImmLoad) == 0 {
+		return
+	}
+	for _, in := range t.Insns {
+		if !pol.ImmLoad[in.Addr] || !in.HasImm32() {
+			continue
+		}
+		for b := uint32(0); b < 4; b++ {
+			t.maskByte(in.Addr + in.ImmOff + b)
+		}
+	}
+}
+
+func (t *Translation) maskByte(addr uint32) {
+	for ri, r := range t.SrcRanges {
+		if addr >= r.Addr && addr < r.Addr+r.Len {
+			t.Mask[ri][addr-r.Addr] = 0
+		}
+	}
+}
