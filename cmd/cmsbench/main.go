@@ -10,6 +10,7 @@
 //	                         # selfcheck, selfreval, flow, chain, faults
 //	cmsbench -workload NAME  # workload for flow/chain (default win98_boot)
 //	cmsbench -list           # list the benchmark suite
+//	cmsbench -json FILE      # write a wall-clock perf record (BENCH_*.json)
 package main
 
 import (
@@ -25,7 +26,34 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults")
 	wl := flag.String("workload", "win98_boot", "workload for the flow/chain experiments")
 	list := flag.Bool("list", false, "list the benchmark suite and exit")
+	jsonPath := flag.String("json", "", "measure wall-clock perf over the hot kernels and write a JSON record to this file")
+	runs := flag.Int("runs", 3, "runs per workload for -json (best-of)")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		// Open the output first: a bad path should fail before the
+		// minutes-long measurement, not after.
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmsbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rec, err := bench.Perf(*runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cmsbench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WritePerfJSON(f, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "cmsbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, w := range rec.Workloads {
+			fmt.Printf("%-14s %10.3f ms/run  %10.3f ms pipelined  %7.2f Mguest/s\n",
+				w.Name, float64(w.NsPerRun)/1e6, float64(w.NsPerRunPipelined)/1e6, w.MguestPerSec)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-18s %-5s %s\n", "name", "kind", "stands in for")

@@ -50,6 +50,7 @@ func main() {
 		noChain     = flag.Bool("nochain", false, "disable exit chaining")
 		hot         = flag.Uint64("hot", 0, "translation threshold (0 = default)")
 		unroll      = flag.Int("unroll", 0, "region unroll factor (0 = default)")
+		workers     = flag.Int("workers", 0, "translation pipeline workers (0 = synchronous)")
 
 		showConsole = flag.Bool("console", true, "print guest console output")
 		verbose     = flag.Bool("v", false, "print the full metric breakdown")
@@ -78,6 +79,7 @@ func main() {
 	if *hot > 0 {
 		cfg.HotThreshold = *hot
 	}
+	cfg.PipelineWorkers = *workers
 
 	plat := dev.NewPlatform(uint32(*ram), disk)
 	plat.Bus.WriteRaw(img.org, img.data)
@@ -109,6 +111,12 @@ func main() {
 			m.MolsTexec, m.MolsInterp, m.MolsTranslate, m.MolsPrologue)
 		fmt.Printf("dispatch: to-tcache %d, chained %d, lookups %d, returns %d\n",
 			m.DispatchToTexec, m.ChainTransfers, m.LookupTransfers, m.DispatchReturns)
+		fmt.Printf("indirect target cache: hits %d, misses %d\n",
+			m.IndirectHits, m.IndirectMisses)
+		if m.PipelineSubmits > 0 {
+			fmt.Printf("pipeline: submits %d, installs %d, stale %d\n",
+				m.PipelineSubmits, m.PipelineInstalls, m.PipelineStale)
+		}
 		for c := vliw.FaultClass(1); c < 8; c++ {
 			if m.Faults[c] > 0 {
 				fmt.Printf("faults[%s]: %d (adaptations %d)\n", c, m.Faults[c], m.Adaptations[c])

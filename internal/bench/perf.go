@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"cms/internal/cms"
+	"cms/internal/workload"
+)
+
+// PerfWorkloads are the hot kernels the wall-clock perf record tracks —
+// the translation-dominated benchmarks where simulator speed matters most.
+var PerfWorkloads = []string{
+	"eqntott", "compress", "alvinn", "tomcatv", "li", "gcc",
+	"win98_boot", "quake_demo2",
+}
+
+// WorkloadPerf is one workload's wall-clock measurement.
+type WorkloadPerf struct {
+	Name string `json:"name"`
+	// NsPerRun is the best-of-N wall-clock time for one full workload run
+	// on the synchronous engine; NsPerRunPipelined is the same with
+	// PipelineWorkers = NumCPU.
+	NsPerRun          int64 `json:"ns_per_run"`
+	NsPerRunPipelined int64 `json:"ns_per_run_pipelined"`
+	// GuestInsns is the simulated work per run (identical across modes).
+	GuestInsns uint64 `json:"guest_insns"`
+	// MguestPerSec is simulation throughput (sync engine): millions of
+	// guest instructions retired per wall-clock second.
+	MguestPerSec float64 `json:"mguest_per_sec"`
+}
+
+// PerfRecord is the machine-readable perf snapshot cmsbench -json emits;
+// committed BENCH_*.json files track the trajectory across PRs.
+type PerfRecord struct {
+	Date      string         `json:"date"`
+	GoVersion string         `json:"go_version"`
+	NumCPU    int            `json:"num_cpu"`
+	Runs      int            `json:"runs_per_workload"`
+	Workloads []WorkloadPerf `json:"workloads"`
+}
+
+// Perf measures every PerfWorkloads kernel, best-of-runs.
+func Perf(runs int) (*PerfRecord, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	rec := &PerfRecord{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Runs:      runs,
+	}
+	for _, name := range PerfWorkloads {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		sync, guest, err := timeRuns(w, cms.DefaultConfig(), runs)
+		if err != nil {
+			return nil, err
+		}
+		pcfg := cms.DefaultConfig()
+		pcfg.PipelineWorkers = runtime.NumCPU()
+		piped, _, err := timeRuns(w, pcfg, runs)
+		if err != nil {
+			return nil, err
+		}
+		rec.Workloads = append(rec.Workloads, WorkloadPerf{
+			Name:              name,
+			NsPerRun:          sync,
+			NsPerRunPipelined: piped,
+			GuestInsns:        guest,
+			MguestPerSec:      float64(guest) / (float64(sync) / 1e9) / 1e6,
+		})
+	}
+	return rec, nil
+}
+
+// timeRuns returns the best wall-clock nanoseconds over n runs.
+func timeRuns(w workload.Workload, cfg cms.Config, n int) (best int64, guest uint64, err error) {
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		r, rerr := Run(w, cfg)
+		d := time.Since(t0).Nanoseconds()
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+		guest = r.Metrics.GuestTotal()
+	}
+	return best, guest, nil
+}
+
+// WritePerfJSON renders the record as indented JSON.
+func WritePerfJSON(w io.Writer, r *PerfRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

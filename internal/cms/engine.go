@@ -31,6 +31,12 @@ type Engine struct {
 	sites  map[uint32]*site
 	budget uint64
 	err    error
+
+	// Concurrent translation pipeline state (nil/empty in synchronous
+	// mode); see pipeline.go.
+	pipe     *xlate.Pipeline
+	pendq    []pending
+	inflight map[uint32]bool
 }
 
 // ErrBudget reports that Run stopped because the instruction budget was
@@ -89,7 +95,14 @@ func (e *Engine) site(entry uint32) *site {
 // ErrBudget if the budget ran out.
 func (e *Engine) Run(maxGuest uint64) error {
 	e.budget = maxGuest
+	if e.Cfg.PipelineWorkers > 0 && !e.Cfg.NoTranslate {
+		e.startPipeline()
+		defer e.stopPipeline()
+	}
 	for e.Metrics.GuestTotal() < maxGuest {
+		if e.pipe != nil {
+			e.drainPipeline()
+		}
 		if e.err != nil {
 			return e.err
 		}
@@ -103,7 +116,13 @@ func (e *Engine) Run(maxGuest uint64) error {
 			continue
 		}
 		if !e.Cfg.NoTranslate && e.hot(eip) {
-			if ent := e.translateAt(eip); ent != nil {
+			var ent *tcache.Entry
+			if e.pipe != nil {
+				ent = e.submitTranslation(eip)
+			} else {
+				ent = e.translateAt(eip)
+			}
+			if ent != nil {
 				e.Metrics.DispatchToTexec++
 				e.runTranslated(ent)
 				continue
@@ -273,7 +292,25 @@ func (e *Engine) runTranslated(ent *tcache.Entry) {
 		}
 
 		var next *tcache.Entry
-		if e.Cfg.EnableChaining && !out.Indirect {
+		switch {
+		case out.Indirect && e.Cfg.EnableChaining:
+			// A direct chain can't help an indirect exit (the target is
+			// data-dependent), but the per-translation inline cache can:
+			// hot indirect jumps resolve to few targets, and a hit skips
+			// the dispatcher's map lookup almost entirely.
+			if n := cur.IndirectTarget(target); n != nil {
+				next = n
+				e.Metrics.IndirectHits++
+				e.Metrics.MolsDispatch += e.Cfg.IndTCHitCost
+			} else if next = e.Cache.Lookup(target); next != nil {
+				cur.CacheIndirect(target, next)
+				e.Metrics.IndirectMisses++
+				e.Metrics.LookupTransfers++
+				e.Metrics.MolsDispatch += e.Cfg.LookupCost
+			} else {
+				e.Metrics.IndirectMisses++
+			}
+		case !out.Indirect && e.Cfg.EnableChaining:
 			if ch := cur.Chained(out.Exit); ch != nil && ch.Valid {
 				next = ch
 				e.Metrics.ChainTransfers++
@@ -282,7 +319,7 @@ func (e *Engine) runTranslated(ent *tcache.Entry) {
 				e.Metrics.LookupTransfers++
 				e.Metrics.MolsDispatch += e.Cfg.LookupCost
 			}
-		} else {
+		default:
 			if next = e.Cache.Lookup(target); next != nil {
 				e.Metrics.LookupTransfers++
 				e.Metrics.MolsDispatch += e.Cfg.LookupCost

@@ -1,0 +1,142 @@
+package cms
+
+import (
+	"errors"
+	"fmt"
+
+	"cms/internal/tcache"
+	"cms/internal/xlate"
+)
+
+// The engine side of the concurrent translation pipeline.
+//
+// Determinism is the whole design problem here: the paper's Metrics are a
+// simulated cost model, and they must not depend on how many host cores ran
+// the translator or how fast they were. The discipline (after Flückiger et
+// al.'s treatment of speculative installs) is:
+//
+//   - The front end (region selection + source capture) runs synchronously
+//     on the engine thread, so every input to translation is frozen at a
+//     well-defined simulated instant.
+//   - Workers compute a pure function of that frozen request.
+//   - The engine observes results only at a simulated due time —
+//     submission's GuestTotal plus PipelineLatency — blocking at the first
+//     dispatch boundary past the deadline if the worker hasn't finished.
+//     Worker speed moves wall-clock time, never simulated time.
+//   - At install, the translation's source snapshot is re-verified against
+//     live memory; if the guest rewrote the bytes while translation was in
+//     flight, the result is dropped (PipelineStale) rather than installed,
+//     preserving the SMC guarantees.
+
+// pending is one in-flight translation, queued in submission order.
+// Due times are nondecreasing along the queue, so draining the head first
+// installs strictly in submission order.
+type pending struct {
+	entry uint32
+	due   uint64 // GuestTotal at which the result becomes observable
+	pr    *xlate.PipeRequest
+}
+
+// startPipeline brings the worker pool up for one Run.
+func (e *Engine) startPipeline() {
+	e.pipe = xlate.NewPipeline(e.Cfg.PipelineWorkers, e.Cfg.PipelineDepth)
+	e.inflight = make(map[uint32]bool)
+}
+
+// stopPipeline tears the pool down at Run exit, discarding undelivered
+// results (their sites simply get resubmitted if they are still hot on a
+// later Run — a deterministic outcome, since Run boundaries are).
+func (e *Engine) stopPipeline() {
+	e.pipe.Stop()
+	e.pipe = nil
+	e.pendq = nil
+	e.inflight = nil
+}
+
+// drainPipeline installs every pending translation whose due time has
+// passed, in submission order, blocking on the worker if necessary.
+func (e *Engine) drainPipeline() {
+	for len(e.pendq) > 0 && e.Metrics.GuestTotal() >= e.pendq[0].due {
+		p := e.pendq[0]
+		e.pendq = e.pendq[1:]
+		e.installPending(p)
+		if e.err != nil {
+			return
+		}
+	}
+}
+
+// submitTranslation is the pipelined counterpart of translateAt: it resolves
+// group reuse synchronously (a snapshot comparison, not translator work) and
+// otherwise freezes a request for the worker pool. It returns a non-nil
+// entry only on immediate group reinstall.
+func (e *Engine) submitTranslation(eip uint32) *tcache.Entry {
+	s := e.site(eip)
+	if e.inflight[eip] || len(e.pendq) >= e.Cfg.PipelineDepth {
+		return nil
+	}
+	if e.Cfg.EnableGroups && s.useGroups {
+		if t := e.Cache.GroupMatch(eip, e.Plat.Bus); t != nil {
+			e.Metrics.GroupReuses++
+			e.trace(EvGroupReuse, eip, "")
+			ent := e.Cache.Install(t)
+			ent.SelfReval = s.wantSelfReval && e.Cfg.EnableSelfReval
+			e.protect(t)
+			return ent
+		}
+	}
+	pol := e.Cfg.BasePolicy.Merge(s.policy)
+	if s.selfCheck {
+		pol.SelfCheck = true
+	}
+	req, err := e.Trans.Prepare(eip, pol)
+	if err != nil {
+		if errors.Is(err, xlate.ErrUntranslatable) {
+			s.interpOnly = true
+			return nil
+		}
+		e.err = fmt.Errorf("cms: translation failed at %#x: %w", eip, err)
+		return nil
+	}
+	e.Metrics.PipelineSubmits++
+	e.trace(EvTranslate, eip, fmt.Sprintf("submitted, %d insns", req.GuestLen()))
+	e.pendq = append(e.pendq, pending{
+		entry: eip,
+		due:   e.Metrics.GuestTotal() + e.Cfg.PipelineLatency,
+		pr:    e.pipe.Submit(req),
+	})
+	e.inflight[eip] = true
+	return nil
+}
+
+// installPending collects one finished translation and installs it, unless
+// its source bytes changed while it was in flight.
+func (e *Engine) installPending(p pending) {
+	t, err := p.pr.Wait()
+	delete(e.inflight, p.entry)
+	if err != nil {
+		e.err = fmt.Errorf("cms: translation failed at %#x: %w", p.entry, err)
+		return
+	}
+	if !t.SourceMatches(e.Plat.Bus) {
+		// The guest rewrote the region between capture and install. The
+		// translation is correct for bytes that no longer exist; drop it.
+		// If the site stays hot it will be resubmitted against the new
+		// bytes (and the SMC machinery escalates policy as usual).
+		e.Metrics.PipelineStale++
+		e.trace(EvTranslate, p.entry, "stale: dropped before install")
+		return
+	}
+	s := e.site(p.entry)
+	e.Trans.Translated++
+	e.Trans.InsnsTranslated += uint64(len(t.Insns))
+	e.Metrics.Translations++
+	e.Metrics.MolsTranslate += e.Cfg.TranslateCostPerInsn * uint64(len(t.Insns))
+	e.Metrics.CodeAtoms += uint64(t.CodeAtoms())
+	e.Metrics.GuestInsnsTranslated += uint64(len(t.Insns))
+	e.Metrics.PipelineInstalls++
+	e.trace(EvTranslate, p.entry, fmt.Sprintf("%d insns, %d mols", len(t.Insns), t.CodeMolecules()))
+	ent := e.Cache.Install(t)
+	ent.SelfReval = s.wantSelfReval && e.Cfg.EnableSelfReval
+	e.protect(t)
+}

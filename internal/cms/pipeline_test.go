@@ -1,0 +1,136 @@
+package cms
+
+import (
+	"runtime"
+	"testing"
+)
+
+// pipelineProgs are the programs the determinism tests sweep: a plain hot
+// loop, the stylized-SMC patcher (source changes while translations may be
+// in flight), and the indirect-jump-table interpreter loop.
+var pipelineProgs = map[string]string{
+	"hotLoop": hotLoop,
+	"smc":     smcPatcherProg,
+	"jumpTable": `
+.org 0x1000
+_start:
+	mov ecx, 3000
+	mov ebp, 7
+dispatch:
+	mov eax, ebp
+	and eax, 3
+	mov ebx, table
+	jmp [ebx+eax*4]
+op0:
+	add edi, 1
+	jmp next
+op1:
+	add edi, 3
+	jmp next
+op2:
+	xor edi, ebp
+	jmp next
+op3:
+	shl edi, 1
+	and edi, 0xffff
+next:
+	imul ebp, 1103515245
+	add ebp, 12345
+	shr ebp, 3
+	dec ecx
+	jne dispatch
+	hlt
+	.align 4
+table:
+	.dd op0, op1, op2, op3
+`,
+}
+
+// runPipelined executes one program with the given worker count and returns
+// the finished engine.
+func runPipelined(t *testing.T, src string, workers int) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.PipelineWorkers = workers
+	e := build(t, src, cfg, nil)
+	runToHalt(t, e, 10_000_000)
+	return e
+}
+
+// TestPipelineDeterministicAcrossWorkerCounts is the tentpole's determinism
+// guarantee: simulated Metrics and final architectural state are
+// bit-identical whether one worker or every host core runs the translator.
+func TestPipelineDeterministicAcrossWorkerCounts(t *testing.T) {
+	many := runtime.NumCPU()
+	if many < 2 {
+		many = 2
+	}
+	for name, src := range pipelineProgs {
+		t.Run(name, func(t *testing.T) {
+			one := runPipelined(t, src, 1)
+			n := runPipelined(t, src, many)
+			if one.Metrics != n.Metrics {
+				t.Errorf("Metrics differ between 1 and %d workers:\n 1: %+v\n%2d: %+v",
+					many, one.Metrics, many, n.Metrics)
+			}
+			if one.Interp.CPU != n.Interp.CPU {
+				t.Errorf("final CPU state differs between 1 and %d workers:\n 1: %+v\n%2d: %+v",
+					many, one.Interp.CPU, many, n.Interp.CPU)
+			}
+			// Repeat runs with the same worker count must agree too.
+			again := runPipelined(t, src, many)
+			if n.Metrics != again.Metrics {
+				t.Errorf("Metrics differ between two runs at %d workers", many)
+			}
+		})
+	}
+}
+
+// TestPipelineMatchesReference checks pipelined execution stays
+// architecturally exact: same final state as pure interpretation.
+func TestPipelineMatchesReference(t *testing.T) {
+	for name, src := range pipelineProgs {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.PipelineWorkers = runtime.NumCPU()
+			e := equiv(t, src, cfg)
+			if e.Metrics.PipelineSubmits == 0 {
+				t.Error("pipeline never used despite hot code")
+			}
+			if e.Metrics.PipelineInstalls == 0 && e.Metrics.PipelineStale == 0 {
+				t.Error("pipeline submitted but never resolved a request")
+			}
+		})
+	}
+}
+
+// TestPipelineInstallLatency: translations land only after the simulated
+// latency, so the interpreter keeps retiring meanwhile.
+func TestPipelineInstallLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PipelineWorkers = 2
+	cfg.PipelineLatency = 5000
+	e := build(t, hotLoop, cfg, nil)
+	runToHalt(t, e, 10_000_000)
+	if e.Metrics.PipelineInstalls == 0 {
+		t.Fatal("nothing installed")
+	}
+	// With a 5000-insn latency on a ~8000-insn program, the interpreter
+	// must have retired most of the run itself.
+	if e.Metrics.GuestInterp < 5000 {
+		t.Errorf("interpreter retired only %d insns; installs came too early", e.Metrics.GuestInterp)
+	}
+}
+
+// TestIndirectTargetCache: the jump-table loop's indirect exits must hit
+// the per-translation inline cache once warm.
+func TestIndirectTargetCache(t *testing.T) {
+	e := equiv(t, pipelineProgs["jumpTable"], DefaultConfig())
+	if e.Metrics.IndirectHits == 0 {
+		t.Fatal("indirect target cache never hit")
+	}
+	if e.Metrics.IndirectHits < e.Metrics.IndirectMisses {
+		t.Errorf("indirect cache mostly missing: %d hits vs %d misses",
+			e.Metrics.IndirectHits, e.Metrics.IndirectMisses)
+	}
+}

@@ -1,0 +1,130 @@
+package interp
+
+import (
+	"testing"
+
+	"cms/internal/asm"
+	"cms/internal/guest"
+)
+
+// TestICacheHitsOnLoops checks the decoded-instruction cache actually serves
+// repeated visits to the same EIP.
+func TestICacheHitsOnLoops(t *testing.T) {
+	ip, _ := load(t, `
+.org 0x1000
+	mov eax, 0
+	mov ecx, 100
+loop:
+	add eax, ecx
+	dec ecx
+	jne loop
+	hlt
+`)
+	mustHalt(t, ip, 10000)
+	if got := ip.CPU.Regs[guest.EAX]; got != 5050 {
+		t.Fatalf("sum = %d, want 5050", got)
+	}
+	hits, misses := ip.ICacheStats()
+	// 100 iterations of a 3-insn loop: everything after the first pass hits.
+	if hits < 290 {
+		t.Errorf("icache hits = %d, want >= 290", hits)
+	}
+	if misses > 10 {
+		t.Errorf("icache misses = %d, want <= 10", misses)
+	}
+}
+
+// TestICacheGuestSMCInvalidation: a guest store that overwrites an
+// already-decoded-and-cached instruction must be observed on the next
+// execution of that instruction. The loop body runs once with imm 1 (and is
+// cached), then the guest rewrites the imm32 to 100 and loops back through
+// the same EIP; a stale cached decode would keep adding 1.
+func TestICacheGuestSMCInvalidation(t *testing.T) {
+	ip, _ := load(t, `
+.org 0x1000
+	mov eax, 0
+	mov ecx, 0
+loop:
+patchme:
+	add eax, 1
+	inc ecx
+	cmp ecx, 1
+	jne done_check
+	mov edx, 100
+	mov [patchme+2], edx
+	jmp loop
+done_check:
+	cmp ecx, 4
+	jne loop
+	hlt
+`)
+	mustHalt(t, ip, 1000)
+	// Iteration 1 adds 1, iterations 2-4 add the patched 100.
+	if got := ip.CPU.Regs[guest.EAX]; got != 301 {
+		t.Errorf("eax = %d, want 301 (stale decode served after guest SMC?)", got)
+	}
+}
+
+// TestICacheSMCObservesNewImmediate runs a two-instruction program, then
+// overwrites the cached instruction's immediate with a direct bus write
+// (modeling an SMC store or DMA into code), re-enters at the same EIP, and
+// asserts the interpreter executes the NEW bytes rather than the stale
+// cached decode.
+func TestICacheSMCObservesNewImmediate(t *testing.T) {
+	ip, plat := load(t, `
+.org 0x1000
+	mov eax, 111
+	hlt
+`)
+	mustHalt(t, ip, 10)
+	if got := ip.CPU.Regs[guest.EAX]; got != 111 {
+		t.Fatalf("first run: eax = %d, want 111", got)
+	}
+
+	// The decode of 0x1000 is now cached. Locate its imm32 and patch it.
+	var buf [16]byte
+	n := plat.Bus.FetchBytes(0x1000, buf[:])
+	in, err := guest.Decode(buf[:n], 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.ImmOff == 0 {
+		t.Fatal("mov eax, imm has no locatable imm32")
+	}
+	plat.Bus.Write32(0x1000+in.ImmOff, 222)
+
+	ip.CPU = NewCPU(0x1000)
+	ip.CPU.Regs[guest.ESP] = 0xF0000
+	mustHalt(t, ip, 10)
+	if got := ip.CPU.Regs[guest.EAX]; got != 222 {
+		t.Errorf("after SMC patch: eax = %d, want 222 (stale decode served?)", got)
+	}
+}
+
+// TestICacheDMAInvalidation overwrites cached code wholesale via DMAWrite —
+// the device path that bypasses CPU stores — and checks the new program runs.
+func TestICacheDMAInvalidation(t *testing.T) {
+	ip, plat := load(t, `
+.org 0x1000
+	mov eax, 1
+	hlt
+`)
+	mustHalt(t, ip, 10)
+
+	p2, err := asm.Assemble(`
+.org 0x1000
+	mov eax, 42
+	hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat.Bus.DMAWrite(p2.Org, p2.Image)
+
+	ip.CPU = NewCPU(0x1000)
+	ip.CPU.Regs[guest.ESP] = 0xF0000
+	mustHalt(t, ip, 10)
+	if got := ip.CPU.Regs[guest.EAX]; got != 42 {
+		t.Errorf("after DMA overwrite: eax = %d, want 42", got)
+	}
+}

@@ -136,6 +136,12 @@ type Interp struct {
 	Delivered uint64
 
 	fetchBuf [maxInsnLen]byte
+	ic       icache
+}
+
+// ICacheStats reports the decoded-instruction cache's lookup counters.
+func (ip *Interp) ICacheStats() (hits, misses uint64) {
+	return ip.ic.Hits, ip.ic.Misses
 }
 
 // maxInsnLen bounds the encoded length of any g86 instruction.
@@ -270,8 +276,14 @@ func (ip *Interp) deliver(vec int, retEIP uint32) Result {
 	return Result{Vector: vec}
 }
 
-// fetchDecode fetches and decodes the instruction at EIP.
+// fetchDecode fetches and decodes the instruction at EIP, consulting the
+// decoded-instruction cache first. Cache validity is tied to the bus's
+// per-page modification generations, so any write to the underlying bytes
+// (SMC store, DMA, raw load) or mapping change forces a fresh decode.
 func (ip *Interp) fetchDecode() (guest.Insn, *guestFault) {
+	if in, ok := ip.ic.lookup(ip.Bus, ip.CPU.EIP); ok {
+		return in, nil
+	}
 	n := ip.Bus.FetchBytes(ip.CPU.EIP, ip.fetchBuf[:])
 	if n == 0 {
 		return guest.Insn{}, &guestFault{vec: guest.VecNP}
@@ -285,6 +297,7 @@ func (ip *Interp) fetchDecode() (guest.Insn, *guestFault) {
 		}
 		return guest.Insn{}, &guestFault{vec: guest.VecUD}
 	}
+	ip.ic.fill(ip.Bus, in)
 	return in, nil
 }
 

@@ -367,8 +367,15 @@ type SrcRange struct {
 // instructions. Unrolled regions visit the same addresses repeatedly, so
 // the ranges are sorted and merged: every source byte appears exactly once.
 func (r *Region) SrcRanges() []SrcRange {
-	raw := make([]SrcRange, 0, len(r.Insns))
-	for _, in := range r.Insns {
+	return SrcRangesOf(r.Insns)
+}
+
+// SrcRangesOf coalesces the source byte ranges of an instruction list
+// without requiring a lowered region (the translation pipeline captures
+// source bytes before lowering happens on a worker).
+func SrcRangesOf(insns []guest.Insn) []SrcRange {
+	raw := make([]SrcRange, 0, len(insns))
+	for _, in := range insns {
 		raw = append(raw, SrcRange{Addr: in.Addr, Len: in.Len})
 	}
 	sort.Slice(raw, func(i, j int) bool { return raw[i].Addr < raw[j].Addr })

@@ -120,6 +120,15 @@ type Bus struct {
 	fineMask  []uint32 // per-page chunk mask; only meaningful when fineGrain[page]
 	fineGrain []bool   // page is under fine-grain rather than coarse protection
 
+	// gen is a per-page modification generation, bumped by every RAM write
+	// (CPU store, DMA, raw image write) and by attribute changes. Consumers
+	// that cache anything derived from page contents — the interpreter's
+	// decoded-instruction cache above all — record the generation at fill
+	// time and treat any mismatch as an invalidation. This is deliberately
+	// coarser than CMS write protection: it also covers pages that hold no
+	// translations yet.
+	gen []uint64
+
 	// The fine-grain hardware cache: a small set of pages whose fine-grain
 	// masks are resident in "hardware". A write to a fine-grain page that
 	// misses this cache costs a lightweight software refill (counted in
@@ -153,6 +162,7 @@ func NewBus(size uint32) *Bus {
 		protected:  make([]bool, pages),
 		fineMask:   make([]uint32, pages),
 		fineGrain:  make([]bool, pages),
+		gen:        make([]uint64, pages),
 		ports:      make(map[uint16]PortDevice),
 		fgCacheCap: 8,
 	}
@@ -181,6 +191,27 @@ func (b *Bus) SetFineGrainCacheCap(n int) {
 func (b *Bus) SetAttr(page uint32, a Attr) {
 	if page < uint32(len(b.attrs)) {
 		b.attrs[page] = a
+		b.gen[page]++ // mapping changes invalidate content-derived caches
+	}
+}
+
+// Gen returns the modification generation of a page. Pages beyond RAM report
+// 0; they can hold no cacheable content.
+func (b *Bus) Gen(page uint32) uint64 {
+	if page >= uint32(len(b.gen)) {
+		return 0
+	}
+	return b.gen[page]
+}
+
+// bumpRange advances the generation of every page intersecting
+// [addr, addr+n).
+func (b *Bus) bumpRange(addr uint32, n int) {
+	if n <= 0 {
+		return
+	}
+	for p := PageOf(addr); p <= PageOf(addr+uint32(n)-1) && p < uint32(len(b.gen)); p++ {
+		b.gen[p]++
 	}
 }
 
@@ -204,6 +235,7 @@ func (b *Bus) MapMMIO(base, size uint32, dev MMIODevice) {
 	for p := PageOf(base); p < PageOf(base+size-1)+1; p++ {
 		if p < uint32(len(b.attrs)) {
 			b.attrs[p] = AttrPresent | AttrMMIO
+			b.gen[p]++
 		}
 	}
 }
@@ -453,6 +485,7 @@ func (b *Bus) Write8(addr uint32, v uint8) {
 		return
 	}
 	b.ram[addr] = v
+	b.gen[PageOf(addr)]++
 }
 
 // Write32 performs a guest 32-bit store. The caller must have passed
@@ -467,6 +500,7 @@ func (b *Bus) Write32(addr uint32, v uint32) {
 		b.ram[addr+1] = byte(v >> 8)
 		b.ram[addr+2] = byte(v >> 16)
 		b.ram[addr+3] = byte(v >> 24)
+		b.gen[PageOf(addr)]++
 		return
 	}
 	for i := 0; i < 4; i++ {
@@ -529,6 +563,7 @@ func (b *Bus) ReadRaw(addr uint32, n int) []byte {
 // loading only).
 func (b *Bus) WriteRaw(addr uint32, data []byte) {
 	copy(b.ram[addr:], data)
+	b.bumpRange(addr, len(data))
 }
 
 // DMAWrite performs a device DMA write. DMA bypasses guest page permissions
@@ -545,4 +580,5 @@ func (b *Bus) DMAWrite(addr uint32, data []byte) {
 		}
 	}
 	copy(b.ram[addr:], data)
+	b.bumpRange(addr, len(data))
 }

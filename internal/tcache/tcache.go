@@ -2,11 +2,14 @@
 // translations, the chaining machinery that lets hot code run entirely
 // inside the cache (§2 of the paper, after Cmelik et al.), the reverse maps
 // that invalidation needs when guest code pages change, the translation
-// groups of §3.6.5, and a whole-cache flush used as garbage collection when
-// the cache outgrows its budget.
+// groups of §3.6.5, and capacity management for when the cache outgrows its
+// budget: coldest-first eviction, with the whole-cache generational flush
+// kept as the last resort.
 package tcache
 
 import (
+	"sort"
+
 	"cms/internal/mem"
 	"cms/internal/vliw"
 	"cms/internal/xlate"
@@ -40,6 +43,37 @@ type Entry struct {
 	Armed bool
 	// SelfReval marks the translation as carrying a usable prologue.
 	SelfReval bool
+
+	// itc is the per-translation indirect-branch target cache: a tiny
+	// inline cache from recent indirect-exit targets to their entries, so
+	// hot indirect jumps (returns, dispatch tables) skip the dispatcher's
+	// map lookup. Slots may hold invalidated entries; hits re-check Valid.
+	itc [itcSlots]itcSlot
+}
+
+// itcSlots is the per-translation indirect target cache size. Indirect
+// exits usually resolve to a handful of targets (a return site, a few
+// dispatch-table cases); four direct-mapped slots capture most of them.
+const itcSlots = 4
+
+type itcSlot struct {
+	target uint32
+	to     *Entry
+}
+
+// IndirectTarget consults the entry's indirect target cache, returning the
+// still-valid cached successor for target, or nil.
+func (e *Entry) IndirectTarget(target uint32) *Entry {
+	s := &e.itc[(target>>2)%itcSlots]
+	if s.to != nil && s.target == target && s.to.Valid {
+		return s.to
+	}
+	return nil
+}
+
+// CacheIndirect records target's entry in the indirect target cache.
+func (e *Entry) CacheIndirect(target uint32, to *Entry) {
+	e.itc[(target>>2)%itcSlots] = itcSlot{target: target, to: to}
 }
 
 type chainRef struct {
@@ -63,6 +97,7 @@ type Stats struct {
 	Invalidations uint64
 	ChainPatches  uint64
 	Unchains      uint64
+	Evictions     uint64
 	Flushes       uint64
 	GroupHits     uint64
 	GroupRetires  uint64
@@ -121,11 +156,12 @@ func (c *Cache) Peek(eip uint32) *Entry {
 }
 
 // Install adds a translation, replacing any previous entry at the same
-// address, and returns its entry. If the code budget is exceeded the whole
-// cache is flushed first (generational flush, as real CMS did).
+// address, and returns its entry. If the code budget is exceeded, cold
+// translations are evicted first; only when that would empty the cache does
+// the whole-cache generational flush of real CMS kick in.
 func (c *Cache) Install(t *xlate.Translation) *Entry {
 	if c.CapAtoms > 0 && c.curAtoms+t.CodeAtoms() > c.CapAtoms {
-		c.Flush()
+		c.makeRoom(t.CodeAtoms())
 	}
 	if old := c.byEntry[t.Entry]; old != nil && old.Valid {
 		c.invalidate(old, false)
@@ -138,6 +174,48 @@ func (c *Cache) Install(t *xlate.Translation) *Entry {
 	c.curAtoms += t.CodeAtoms()
 	c.Stats.Installs++
 	return e
+}
+
+// makeRoom frees space for `need` atoms by invalidating the coldest
+// translations (fewest completed executions; ties broken by entry address
+// so the choice is deterministic despite map iteration order). Victims
+// retire into their groups like any other invalidation, so re-hot code can
+// be revived by §3.6.5 reuse. If fitting the new code would evict every
+// entry, the whole-cache flush does the same job in one cheap reset.
+func (c *Cache) makeRoom(need int) {
+	type cand struct {
+		execs uint64
+		entry uint32
+		e     *Entry
+	}
+	cands := make([]cand, 0, len(c.byEntry))
+	for _, e := range c.byEntry {
+		if e.Valid {
+			cands = append(cands, cand{execs: e.Execs, entry: e.T.Entry, e: e})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].execs != cands[j].execs {
+			return cands[i].execs < cands[j].execs
+		}
+		return cands[i].entry < cands[j].entry
+	})
+	free := 0
+	if c.CapAtoms > c.curAtoms {
+		free = c.CapAtoms - c.curAtoms
+	}
+	n := 0
+	for ; n < len(cands) && free < need; n++ {
+		free += cands[n].e.T.CodeAtoms()
+	}
+	if n >= len(cands) {
+		c.Flush()
+		return
+	}
+	for _, v := range cands[:n] {
+		c.invalidate(v.e, true)
+		c.Stats.Evictions++
+	}
 }
 
 // Chain links exit of from to target, so the dispatcher is skipped next

@@ -198,3 +198,51 @@ func TestExitMetadataUsable(t *testing.T) {
 		}
 	}
 }
+
+func TestColdestFirstEviction(t *testing.T) {
+	bus := newBus()
+	c := New()
+	// Three same-size entries; budget fits exactly three.
+	cold := c.Install(mkTrans(t, bus, 0x1000))
+	warm := c.Install(mkTrans(t, bus, 0x3000))
+	hot := c.Install(mkTrans(t, bus, 0x5000))
+	cold.Execs, warm.Execs, hot.Execs = 1, 10, 100
+	_, atoms := c.Size()
+	c.CapAtoms = atoms
+
+	// A fourth install must displace exactly the coldest entry.
+	e4 := c.Install(mkTrans(t, bus, 0x7000))
+	if cold.Valid {
+		t.Error("coldest entry survived eviction")
+	}
+	if !warm.Valid || !hot.Valid || !e4.Valid {
+		t.Error("eviction removed more than the coldest entry")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Stats.Evictions)
+	}
+	if c.Stats.Flushes != 0 {
+		t.Errorf("flushes = %d, want 0 (eviction must avoid the flush cliff)", c.Stats.Flushes)
+	}
+	// Evicted translations retire into their group for §3.6.5 revival.
+	if c.GroupSize(0x1000) != 1 {
+		t.Errorf("evicted translation not retired into its group")
+	}
+}
+
+func TestEvictionTieBreaksByAddress(t *testing.T) {
+	bus := newBus()
+	c := New()
+	a := c.Install(mkTrans(t, bus, 0x3000))
+	b := c.Install(mkTrans(t, bus, 0x1000))
+	// Equal Execs: the lower entry address goes first, deterministically.
+	_, atoms := c.Size()
+	c.CapAtoms = atoms
+	c.Install(mkTrans(t, bus, 0x5000))
+	if b.Valid {
+		t.Error("tie-break victim (lower address) survived")
+	}
+	if !a.Valid {
+		t.Error("tie-break evicted the wrong entry")
+	}
+}

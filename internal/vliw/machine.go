@@ -2,6 +2,7 @@ package vliw
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cms/internal/dev"
 	"cms/internal/guest"
@@ -83,10 +84,14 @@ type sbEntry struct {
 	size uint8
 }
 
+// aliasEntry is one translator-managed protect slot. An entry is live when
+// its epoch matches the machine's current aliasEpoch; bumping the epoch
+// invalidates the whole table in O(1) (a zero-valued entry has size 0, so it
+// can never overlap a store even at epoch 0).
 type aliasEntry struct {
 	addr  uint32
 	size  uint8
-	valid bool
+	epoch uint64
 }
 
 // AliasTableSize is the number of protect entries the alias hardware offers.
@@ -107,8 +112,9 @@ type Machine struct {
 	// FIRQ.
 	IRQ *dev.IRQController
 
-	alias [AliasTableSize]aliasEntry
-	sb    []sbEntry
+	alias      [AliasTableSize]aliasEntry
+	aliasEpoch uint64
+	sb         []sbEntry
 
 	// Counters.
 	Mols      uint64 // dynamic molecules executed (the paper's metric)
@@ -142,9 +148,7 @@ func (m *Machine) LoadGuest(regs *[guest.NumRegs]uint32, flags uint32, eip uint3
 	m.Regs[RFlags] = flags
 	m.Regs[RZero] = 0
 	m.CommittedEIP = eip
-	for i := 0; i < NumShadowed; i++ {
-		m.Shadow[i] = m.Regs[i]
-	}
+	copy(m.Shadow[:], m.Regs[:NumShadowed])
 	m.sb = m.sb[:0]
 	m.clearAlias()
 }
@@ -158,18 +162,14 @@ func (m *Machine) StoreGuest(regs *[guest.NumRegs]uint32, flags *uint32) {
 }
 
 func (m *Machine) clearAlias() {
-	for i := range m.alias {
-		m.alias[i].valid = false
-	}
+	m.aliasEpoch++
 }
 
 // commit copies working state to shadow and drains the gated store buffer
 // to the memory system in program order. Commits are architecturally free
 // (§3.1: "commit operations are effectively free").
 func (m *Machine) commit() {
-	for i := 0; i < NumShadowed; i++ {
-		m.Shadow[i] = m.Regs[i]
-	}
+	copy(m.Shadow[:], m.Regs[:NumShadowed])
 	for _, e := range m.sb {
 		switch e.kind {
 		case sbRAM, sbMMIO:
@@ -190,9 +190,7 @@ func (m *Machine) commit() {
 // rollback restores the last committed state: shadow registers back to
 // working, gated stores dropped, alias table cleared.
 func (m *Machine) rollback() {
-	for i := 0; i < NumShadowed; i++ {
-		m.Regs[i] = m.Shadow[i]
-	}
+	copy(m.Regs[:NumShadowed], m.Shadow[:])
 	m.sb = m.sb[:0]
 	m.clearAlias()
 	m.Rollbacks++
@@ -234,10 +232,12 @@ func (m *Machine) sbLoad(addr uint32, size uint8) uint32 {
 	return v
 }
 
-// fault rolls back and builds a fault outcome.
-func (m *Machine) fault(f FaultClass, a Atom, addr uint32, vec int) Outcome {
+// fault rolls back and builds a fault outcome for the atom at guest index
+// gidx. It returns a pointer so the (rare) fault path carries the only heap
+// allocation; the exec hot path stays allocation-free.
+func (m *Machine) fault(f FaultClass, gidx int, addr uint32, vec int) *Outcome {
 	m.rollback()
-	return Outcome{Fault: f, Addr: addr, GuestVec: vec, GIdx: int(a.GIdx), Exit: -1}
+	return &Outcome{Fault: f, Addr: addr, GuestVec: vec, GIdx: gidx, Exit: -1}
 }
 
 // regWrite is a deferred register write produced by an atom.
@@ -271,6 +271,11 @@ func (ar *atomResult) write(reg HReg, val uint32) {
 // arriving from a committed exit of a chained translation.
 func (m *Machine) Exec(code *Code) Outcome {
 	pc := 0
+	// maxWidth bounds any host generation's issue width. The result slots
+	// live outside the molecule loop; execAtom resets the live fields of its
+	// slot, so nothing here is re-zeroed per molecule.
+	const maxWidth = 16
+	var results [maxWidth]atomResult
 	for {
 		// Interrupt window at molecule boundaries (§3.3): rollback and let
 		// the runtime deliver at the last committed boundary.
@@ -287,16 +292,12 @@ func (m *Machine) Exec(code *Code) Outcome {
 		m.Mols++
 
 		next := pc + 1
-		// maxWidth bounds any host generation's issue width.
-		const maxWidth = 16
-		var results [maxWidth]atomResult
-		n := 0
-		for _, a := range mol.Atoms {
-			fault := m.execAtom(a, &results[n])
-			if fault != nil {
+		n := len(mol.Atoms)
+		for i := 0; i < n; i++ {
+			// Index (not range) so the fat Atom struct is never copied.
+			if fault := m.execAtom(&mol.Atoms[i], &results[i]); fault != nil {
 				return *fault
 			}
-			n++
 		}
 		// Apply deferred writes in atom order, then resolve control.
 		for i := 0; i < n; i++ {
@@ -327,23 +328,33 @@ func (m *Machine) Exec(code *Code) Outcome {
 // execAtom executes one atom against the pre-molecule register state,
 // recording deferred writes in ar. A non-nil return is a fault Outcome
 // (the machine has already rolled back).
-func (m *Machine) execAtom(a Atom, ar *atomResult) *Outcome {
+func (m *Machine) execAtom(a *Atom, ar *atomResult) *Outcome {
+	// Reset the slot's live fields (the slots are reused across molecules;
+	// indTarget/exit/target are only read behind these flags).
+	ar.nw = 0
+	ar.branch = false
+	ar.exits = false
+	ar.indirect = false
+
 	r := &m.Regs
 	// The flag-image input: arithmetic bits come from the atom's flag
 	// source (a renamed image or the architectural register); the IF bit
 	// always comes from the architectural RFlags, which CLI/STI update
 	// directly. This is what lets full flag writers execute without any
-	// dependence on the previous flag image.
-	flags := r[FlagSrc(a)]
-	if FlagSrc(a) != RFlags {
+	// dependence on the previous flag image. (FlagSrc/FlagDst inlined: a
+	// zero Fs/Fd means the architectural RFlags.)
+	fs, fd := a.Fs, a.Fd
+	if fs == 0 {
+		fs = RFlags
+	}
+	if fd == 0 {
+		fd = RFlags
+	}
+	flags := r[fs]
+	if fs != RFlags {
 		flags = flags&^guest.FlagIF | r[RFlags]&guest.FlagIF
 	}
-	fd := FlagDst(a)
-
-	fail := func(f FaultClass, addr uint32, vec int) *Outcome {
-		o := m.fault(f, a, addr, vec)
-		return &o
-	}
+	gi := int(a.GIdx)
 
 	switch a.Op {
 	case ANop:
@@ -464,14 +475,14 @@ func (m *Machine) execAtom(a Atom, ar *atomResult) *Outcome {
 	case ADivU:
 		q, rem, ok := guest.DivU(r[a.Rc], r[a.Ra], r[a.Rb])
 		if !ok {
-			return fail(FGuest, 0, guest.VecDE)
+			return m.fault(FGuest, gi, 0, guest.VecDE)
 		}
 		ar.write(a.Rd, q)
 		ar.write(a.Rd2, rem)
 	case ADivS:
 		q, rem, ok := guest.DivS(r[a.Rc], r[a.Ra], r[a.Rb])
 		if !ok {
-			return fail(FGuest, 0, guest.VecDE)
+			return m.fault(FGuest, gi, 0, guest.VecDE)
 		}
 		ar.write(a.Rd, q)
 		ar.write(a.Rd2, rem)
@@ -486,14 +497,14 @@ func (m *Machine) execAtom(a Atom, ar *atomResult) *Outcome {
 	case ALd:
 		addr := r[a.Ra] + a.Imm
 		if gf := m.Bus.CheckRead(addr, int(a.Size)); gf != nil {
-			return fail(FGuest, addr, gf.Vector)
+			return m.fault(FGuest, gi, addr, gf.Vector)
 		}
 		if m.Bus.IsMMIO(addr) {
 			if a.Reordered {
-				return fail(FMMIOSpec, addr, 0)
+				return m.fault(FMMIOSpec, gi, addr, 0)
 			}
 			if m.pendingIO() {
-				return fail(FMMIOOrder, addr, 0)
+				return m.fault(FMMIOOrder, gi, addr, 0)
 			}
 			if a.Size == 1 {
 				ar.write(a.Rd, uint32(m.Bus.Read8(addr)))
@@ -504,32 +515,29 @@ func (m *Machine) execAtom(a Atom, ar *atomResult) *Outcome {
 			ar.write(a.Rd, m.sbLoad(addr, a.Size))
 		}
 		if a.ProtIdx != NoAliasIdx {
-			m.alias[a.ProtIdx] = aliasEntry{addr: addr, size: a.Size, valid: true}
+			m.alias[a.ProtIdx] = aliasEntry{addr: addr, size: a.Size, epoch: m.aliasEpoch}
 		}
 
 	case ASt:
 		addr := r[a.Ra] + a.Imm
 		if gf := m.Bus.CheckWrite(addr, int(a.Size)); gf != nil {
-			return fail(FGuest, addr, gf.Vector)
+			return m.fault(FGuest, gi, addr, gf.Vector)
 		}
 		isMMIO := m.Bus.IsMMIO(addr)
 		if isMMIO && a.Reordered {
-			return fail(FMMIOSpec, addr, 0)
+			return m.fault(FMMIOSpec, gi, addr, 0)
 		}
 		if !isMMIO {
 			if hit := m.Bus.CheckProt(addr, int(a.Size), mem.SrcCPU); hit != nil {
-				return fail(FProt, addr, 0)
+				return m.fault(FProt, gi, addr, 0)
 			}
 		}
-		if a.CheckMask != 0 {
-			for i := 0; i < AliasTableSize; i++ {
-				if a.CheckMask&(1<<uint(i)) == 0 {
-					continue
-				}
-				e := m.alias[i]
-				if e.valid && addr < e.addr+uint32(e.size) && e.addr < addr+uint32(a.Size) {
-					return fail(FAlias, addr, 0)
-				}
+		// Walk only the set bits of the protect mask rather than all 48
+		// table slots — stores with small masks dominate.
+		for mask := a.CheckMask; mask != 0; mask &= mask - 1 {
+			e := &m.alias[bits.TrailingZeros64(mask)]
+			if e.epoch == m.aliasEpoch && addr < e.addr+uint32(e.size) && e.addr < addr+uint32(a.Size) {
+				return m.fault(FAlias, gi, addr, 0)
 			}
 		}
 		kind := sbRAM
@@ -540,7 +548,7 @@ func (m *Machine) execAtom(a Atom, ar *atomResult) *Outcome {
 
 	case AIn:
 		if m.pendingIO() {
-			return fail(FMMIOOrder, 0, 0)
+			return m.fault(FMMIOOrder, gi, 0, 0)
 		}
 		ar.write(a.Rd, m.Bus.PortRead(uint16(a.Imm)))
 	case AOut:
@@ -566,9 +574,9 @@ func (m *Machine) execAtom(a Atom, ar *atomResult) *Outcome {
 		m.CommittedEIP = a.Imm
 
 	default:
-		o := m.fault(FBadCode, a, 0, 0)
+		o := m.fault(FBadCode, gi, 0, 0)
 		o.Err = fmt.Errorf("vliw: unknown atom op %d", a.Op)
-		return &o
+		return o
 	}
 	return nil
 }

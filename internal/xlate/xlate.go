@@ -203,12 +203,103 @@ func (tr *Translator) host() vliw.HostConfig {
 // given policy. It shrinks the region and retries on register pressure, and
 // returns ErrUntranslatable when no region can be formed at all.
 func (tr *Translator) Translate(entry uint32, pol Policy) (*Translation, error) {
-	cap := pol.EffMaxInsns()
+	req, err := tr.Prepare(entry, pol)
+	if err != nil {
+		return nil, err
+	}
+	t, err := req.Translate()
+	if err != nil {
+		return nil, err
+	}
+	tr.Translated++
+	tr.InsnsTranslated += uint64(len(t.Insns))
+	return t, nil
+}
+
+// Request is a frozen translation request: the region selection plus every
+// byte of input the backend needs, captured synchronously from the live bus
+// and profile. Once built, a Request shares no mutable state with the
+// running guest, so Translate may run on any goroutine while the
+// interpreter keeps retiring instructions — the concurrency boundary of the
+// translation pipeline.
+type Request struct {
+	Entry uint32
+	Pol   Policy
+
+	// insns is the trace selected at the policy's full instruction cap.
+	// Register-pressure retries re-lower a prefix of it: selectRegion's
+	// walk depends on the cap only through its loop bound, so selection at
+	// a smaller cap IS the prefix of this list.
+	insns []guest.Insn
+	// ranges/bytes are the coalesced source ranges of the full trace and
+	// their contents at capture time; retries snapshot from these, never
+	// from the live bus.
+	ranges []ir.SrcRange
+	bytes  [][]byte
+	// prof carries only the MMIO flags of the trace's addresses (the one
+	// profile input lowering reads), copied out of the live profile.
+	prof *interp.Profile
+	host vliw.HostConfig
+}
+
+// Prepare runs the front end of translation — region selection and source
+// capture — against the live bus, and returns a self-contained Request for
+// the backend. It returns ErrUntranslatable when no region can be formed.
+func (tr *Translator) Prepare(entry uint32, pol Policy) (*Request, error) {
+	p := pol
+	p.MaxInsns = p.EffMaxInsns()
+	insns, err := selectRegion(tr.Bus, tr.Prof, entry, p)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{
+		Entry:  entry,
+		Pol:    pol,
+		insns:  insns,
+		ranges: ir.SrcRangesOf(insns),
+		host:   tr.host(),
+	}
+	req.bytes = make([][]byte, len(req.ranges))
+	for ri, r := range req.ranges {
+		req.bytes[ri] = tr.Bus.ReadRaw(r.Addr, int(r.Len))
+	}
+	if tr.Prof != nil {
+		mmio := make(map[uint32]bool)
+		for _, in := range insns {
+			if tr.Prof.MMIOInsns[in.Addr] {
+				mmio[in.Addr] = true
+			}
+		}
+		req.prof = &interp.Profile{MMIOInsns: mmio}
+	}
+	return req, nil
+}
+
+// GuestLen returns the number of guest instructions in the captured trace.
+func (req *Request) GuestLen() int { return len(req.insns) }
+
+// ReadRaw serves source bytes from the capture, satisfying the snapshot
+// reader. Every address the backend snapshots lies inside the captured
+// ranges: retry prefixes only ever cover a subset of the full trace's bytes.
+func (req *Request) ReadRaw(addr uint32, n int) []byte {
+	for ri, r := range req.ranges {
+		if addr >= r.Addr && addr+uint32(n) <= r.Addr+r.Len {
+			out := make([]byte, n)
+			copy(out, req.bytes[ri][addr-r.Addr:])
+			return out
+		}
+	}
+	panic(fmt.Sprintf("xlate: snapshot read [%#x,+%d) outside captured ranges", addr, n))
+}
+
+// Translate runs the backend — lower, optimize, allocate, emit, schedule —
+// purely from the Request's captured inputs. It shrinks the region and
+// retries on register pressure, exactly as the synchronous path does.
+func (req *Request) Translate() (*Translation, error) {
+	cap := req.Pol.EffMaxInsns()
 	for {
-		t, err := tr.translateOnce(entry, pol, cap)
+		t, err := req.translateOnce(cap)
 		if err == nil {
-			tr.Translated++
-			tr.InsnsTranslated += uint64(len(t.Insns))
 			return t, nil
 		}
 		if errors.Is(err, errRegPressure) && cap > 4 {
@@ -219,14 +310,14 @@ func (tr *Translator) Translate(entry uint32, pol Policy) (*Translation, error) 
 	}
 }
 
-func (tr *Translator) translateOnce(entry uint32, pol Policy, capInsns int) (*Translation, error) {
-	p := pol
+func (req *Request) translateOnce(capInsns int) (*Translation, error) {
+	p := req.Pol
 	p.MaxInsns = capInsns
-	insns, err := selectRegion(tr.Bus, tr.Prof, entry, p)
-	if err != nil {
-		return nil, err
+	insns := req.insns
+	if capInsns < len(insns) {
+		insns = insns[:capInsns]
 	}
-	region, err := lower(entry, insns, p, tr.Prof)
+	region, err := lower(req.Entry, insns, p, req.prof)
 	if err != nil {
 		return nil, err
 	}
@@ -243,14 +334,14 @@ func (tr *Translator) translateOnce(entry uint32, pol Policy, capInsns int) (*Tr
 	}
 
 	t := &Translation{
-		Entry:     entry,
+		Entry:     req.Entry,
 		Insns:     insns,
 		Policy:    p,
 		SrcRanges: region.SrcRanges(),
 	}
-	t.snapshot(tr.Bus, p)
+	t.snapshot(req, p)
 
-	em := &emitter{region: region, pol: p, host: tr.host(), assign: assign}
+	em := &emitter{region: region, pol: p, host: req.host, assign: assign}
 	if p.SelfCheck {
 		em.emitSelfCheck(checkWordsFor(t), vliw.RTempLast, vliw.RTempLast-1, vliw.RTempLast-2)
 	}
@@ -262,20 +353,26 @@ func (tr *Translator) translateOnce(entry uint32, pol Policy, capInsns int) (*Tr
 	if err != nil {
 		return nil, err
 	}
-	if verr := code.ValidateWith(tr.host()); verr != nil {
-		return nil, fmt.Errorf("xlate: generated invalid code for %#x: %w", entry, verr)
+	if verr := code.ValidateWith(req.host); verr != nil {
+		return nil, fmt.Errorf("xlate: generated invalid code for %#x: %w", req.Entry, verr)
 	}
 	t.Code = code
 	t.Exits = region.Exits
 	return t, nil
 }
 
+// rawReader is the source-byte access snapshot needs: the live bus on the
+// synchronous path, a Request's capture on the pipeline path.
+type rawReader interface {
+	ReadRaw(addr uint32, n int) []byte
+}
+
 // snapshot captures the source bytes and builds the stylized-immediate mask.
-func (t *Translation) snapshot(bus *mem.Bus, pol Policy) {
+func (t *Translation) snapshot(src rawReader, pol Policy) {
 	t.Snapshot = make([][]byte, len(t.SrcRanges))
 	t.Mask = make([][]byte, len(t.SrcRanges))
 	for ri, r := range t.SrcRanges {
-		t.Snapshot[ri] = bus.ReadRaw(r.Addr, int(r.Len))
+		t.Snapshot[ri] = src.ReadRaw(r.Addr, int(r.Len))
 		m := make([]byte, r.Len)
 		for i := range m {
 			m[i] = 0xFF

@@ -1,0 +1,19 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate: formatting, vet, and the full test
+# suite under the race detector (the translation pipeline is concurrent;
+# -race is the tier-1 bar, not an extra).
+#
+# Usage: scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go test -race ./...
+echo "check.sh: all green"
