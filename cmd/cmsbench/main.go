@@ -11,16 +11,29 @@
 //	cmsbench -workload NAME  # workload for flow/chain (default win98_boot)
 //	cmsbench -list           # list the benchmark suite
 //	cmsbench -json FILE      # write a wall-clock perf record (BENCH_*.json)
+//	cmsbench -baseline BENCH_PR1.json
+//	                         # measure and diff against a committed record;
+//	                         # exits non-zero on a >10% wall-clock regression
+//	                         # (combine with -json FILE to also write a record)
+//	cmsbench -cpuprofile p.out -json FILE
+//	                         # capture a pprof CPU profile of the measurement
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"cms/internal/bench"
 	"cms/internal/workload"
 )
+
+// regressionTolerancePct is the wall-clock slack -baseline allows before it
+// fails the run: perf records are best-of-N on a shared machine, so small
+// jitter is expected, but a real backend regression is not.
+const regressionTolerancePct = 10.0
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults")
@@ -28,29 +41,96 @@ func main() {
 	list := flag.Bool("list", false, "list the benchmark suite and exit")
 	jsonPath := flag.String("json", "", "measure wall-clock perf over the hot kernels and write a JSON record to this file")
 	runs := flag.Int("runs", 3, "runs per workload for -json (best-of)")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to diff the -json measurement against; exit non-zero on regression")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
-	if *jsonPath != "" {
-		// Open the output first: a bad path should fail before the
-		// minutes-long measurement, not after.
-		f, err := os.Create(*jsonPath)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cmsbench: %v\n", err)
 			os.Exit(1)
 		}
 		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cmsbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cmsbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cmsbench: %v\n", err)
+			}
+		}()
+	}
+
+	if *jsonPath != "" || *baseline != "" {
+		// Open the output first: a bad path should fail before the
+		// minutes-long measurement, not after.
+		var f *os.File
+		if *jsonPath != "" {
+			var err error
+			f, err = os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cmsbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+		}
 		rec, err := bench.Perf(*runs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cmsbench: perf: %v\n", err)
 			os.Exit(1)
 		}
-		if err := bench.WritePerfJSON(f, rec); err != nil {
-			fmt.Fprintf(os.Stderr, "cmsbench: %v\n", err)
-			os.Exit(1)
+		if f != nil {
+			if err := bench.WritePerfJSON(f, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "cmsbench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		for _, w := range rec.Workloads {
-			fmt.Printf("%-14s %10.3f ms/run  %10.3f ms pipelined  %7.2f Mguest/s\n",
-				w.Name, float64(w.NsPerRun)/1e6, float64(w.NsPerRunPipelined)/1e6, w.MguestPerSec)
+			fmt.Printf("%-14s %10.3f ms/run  %10.3f ms pipelined  %10.3f ms interp  %7.2f Mguest/s\n",
+				w.Name, float64(w.NsPerRun)/1e6, float64(w.NsPerRunPipelined)/1e6,
+				float64(w.NsPerRunInterp)/1e6, w.MguestPerSec)
+		}
+		if *baseline != "" {
+			bf, err := os.Open(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cmsbench: baseline: %v\n", err)
+				os.Exit(1)
+			}
+			base, err := bench.ReadPerfJSON(bf)
+			bf.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cmsbench: baseline: %v\n", err)
+				os.Exit(1)
+			}
+			deltas, regressed := bench.ComparePerf(base, rec, regressionTolerancePct)
+			fmt.Printf("\nvs %s:\n", *baseline)
+			for _, d := range deltas {
+				if d.Missing {
+					fmt.Printf("%-14s %10.3f ms/run  (not in baseline)\n", d.Name, float64(d.CurNs)/1e6)
+					continue
+				}
+				fmt.Printf("%-14s %10.3f ms -> %10.3f ms  %+7.1f%%\n",
+					d.Name, float64(d.BaseNs)/1e6, float64(d.CurNs)/1e6, d.Pct)
+			}
+			if regressed {
+				fmt.Fprintf(os.Stderr, "cmsbench: wall-clock regression beyond %.0f%% vs %s\n",
+					regressionTolerancePct, *baseline)
+				pprof.StopCPUProfile()
+				os.Exit(2)
+			}
 		}
 		return
 	}

@@ -48,6 +48,7 @@ func main() {
 		noStylized  = flag.Bool("nostylized", false, "disable stylized SMC (§3.6.4)")
 		noGroups    = flag.Bool("nogroups", false, "disable translation groups (§3.6.5)")
 		noChain     = flag.Bool("nochain", false, "disable exit chaining")
+		noCompile   = flag.Bool("nocompile", false, "disable the compiled (closure-threaded) backend; interpret translations")
 		hot         = flag.Uint64("hot", 0, "translation threshold (0 = default)")
 		unroll      = flag.Int("unroll", 0, "region unroll factor (0 = default)")
 		workers     = flag.Int("workers", 0, "translation pipeline workers (0 = synchronous)")
@@ -76,6 +77,7 @@ func main() {
 	cfg.EnableStylized = !*noStylized
 	cfg.EnableGroups = !*noGroups
 	cfg.EnableChaining = !*noChain
+	cfg.EnableCompiledBackend = !*noCompile
 	if *hot > 0 {
 		cfg.HotThreshold = *hot
 	}

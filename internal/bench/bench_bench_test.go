@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+
+	"cms/internal/cms"
+	"cms/internal/workload"
+)
+
+// BenchmarkEngineRun times one full engine run of each hot workload kernel
+// under the default configuration (compiled backend on).
+func BenchmarkEngineRun(b *testing.B) {
+	for _, name := range PerfWorkloads {
+		w, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(w, cms.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRunInterp is the same measurement with the compiled
+// backend off, for quick A/B profiling of the two hot paths.
+func BenchmarkEngineRunInterp(b *testing.B) {
+	cfg := cms.DefaultConfig()
+	cfg.EnableCompiledBackend = false
+	for _, name := range PerfWorkloads {
+		w, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(w, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

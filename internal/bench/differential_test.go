@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cms/internal/cms"
+	"cms/internal/dev"
+	"cms/internal/workload"
+)
+
+// backendRun executes one workload to completion under cfg and returns the
+// engine plus the final guest memory image.
+func backendRun(t *testing.T, w workload.Workload, cfg cms.Config) (*cms.Engine, []byte) {
+	t.Helper()
+	img := w.Build()
+	plat := dev.NewPlatform(img.RAM, img.Disk)
+	plat.Bus.WriteRaw(img.Org, img.Data)
+	e := cms.New(plat, img.Entry, cfg)
+	if err := e.Run(img.Budget); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if !e.CPU().Halted {
+		t.Fatalf("%s did not halt", w.Name)
+	}
+	return e, plat.Bus.ReadRaw(0, int(img.RAM))
+}
+
+// diffBackends runs w under cfg with the compiled backend off and on, and
+// asserts the two runs are observationally identical: same final CPU, same
+// guest memory, same simulated Metrics, same cache statistics. This is the
+// deopt contract of the closure-threaded backend — only wall clock may move.
+func diffBackends(t *testing.T, w workload.Workload, cfg cms.Config) {
+	t.Helper()
+	ci := cfg
+	ci.EnableCompiledBackend = false
+	cc := cfg
+	cc.EnableCompiledBackend = true
+
+	ei, memi := backendRun(t, w, ci)
+	ec, memc := backendRun(t, w, cc)
+
+	cpui, cpuc := ei.CPU(), ec.CPU()
+	if cpui.Regs != cpuc.Regs || cpui.EIP != cpuc.EIP ||
+		cpui.Flags != cpuc.Flags || cpui.Halted != cpuc.Halted {
+		t.Errorf("%s: final CPU state diverged:\ninterp   %+v\ncompiled %+v",
+			w.Name, *cpui, *cpuc)
+	}
+	if !reflect.DeepEqual(ei.Metrics, ec.Metrics) {
+		t.Errorf("%s: Metrics diverged:\ninterp   %+v\ncompiled %+v",
+			w.Name, ei.Metrics, ec.Metrics)
+	}
+	if ei.Cache.Stats != ec.Cache.Stats {
+		t.Errorf("%s: cache stats diverged:\ninterp   %+v\ncompiled %+v",
+			w.Name, ei.Cache.Stats, ec.Cache.Stats)
+	}
+	if !bytes.Equal(memi, memc) {
+		for i := range memi {
+			if memi[i] != memc[i] {
+				t.Errorf("%s: guest memory diverged at %#x: interp %#x, compiled %#x",
+					w.Name, i, memi[i], memc[i])
+				break
+			}
+		}
+	}
+}
+
+// TestBackendDifferential proves the compiled and interpretive backends are
+// byte-for-byte equivalent on every workload kernel — including the SMC and
+// adaptive-retranslation workloads — under the default (synchronous)
+// configuration.
+func TestBackendDifferential(t *testing.T) {
+	for _, w := range workload.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			diffBackends(t, w, cms.DefaultConfig())
+		})
+	}
+}
+
+// TestBackendDifferentialPipelined repeats the differential over the
+// concurrent translation pipeline, where compilation happens on the worker
+// goroutines rather than the engine thread.
+func TestBackendDifferentialPipelined(t *testing.T) {
+	cfg := cms.DefaultConfig()
+	cfg.PipelineWorkers = 2
+	for _, w := range workload.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			diffBackends(t, w, cfg)
+		})
+	}
+}

@@ -25,6 +25,11 @@ type WorkloadPerf struct {
 	// PipelineWorkers = NumCPU.
 	NsPerRun          int64 `json:"ns_per_run"`
 	NsPerRunPipelined int64 `json:"ns_per_run_pipelined"`
+	// NsPerRunInterp is NsPerRun with the compiled backend disabled — the
+	// pure interpretive hot path, kept in the record so the closure-threaded
+	// backend's win stays visible across PRs. Zero in records written before
+	// the compiled backend existed.
+	NsPerRunInterp int64 `json:"ns_per_run_interp,omitempty"`
 	// GuestInsns is the simulated work per run (identical across modes).
 	GuestInsns uint64 `json:"guest_insns"`
 	// MguestPerSec is simulation throughput (sync engine): millions of
@@ -68,10 +73,17 @@ func Perf(runs int) (*PerfRecord, error) {
 		if err != nil {
 			return nil, err
 		}
+		icfg := cms.DefaultConfig()
+		icfg.EnableCompiledBackend = false
+		interp, _, err := timeRuns(w, icfg, runs)
+		if err != nil {
+			return nil, err
+		}
 		rec.Workloads = append(rec.Workloads, WorkloadPerf{
 			Name:              name,
 			NsPerRun:          sync,
 			NsPerRunPipelined: piped,
+			NsPerRunInterp:    interp,
 			GuestInsns:        guest,
 			MguestPerSec:      float64(guest) / (float64(sync) / 1e9) / 1e6,
 		})
@@ -79,9 +91,14 @@ func Perf(runs int) (*PerfRecord, error) {
 	return rec, nil
 }
 
-// timeRuns returns the best wall-clock nanoseconds over n runs.
+// timeRuns returns the best wall-clock nanoseconds over n runs. Each run
+// starts from a collected heap so GC debt accumulated by earlier workloads
+// (or configs) is paid outside the timed window — without this, later
+// workloads in the sweep absorb earlier allocations' assist work and the
+// record picks up double-digit cross-run noise.
 func timeRuns(w workload.Workload, cfg cms.Config, n int) (best int64, guest uint64, err error) {
 	for i := 0; i < n; i++ {
+		runtime.GC()
 		t0 := time.Now()
 		r, rerr := Run(w, cfg)
 		d := time.Since(t0).Nanoseconds()
@@ -101,4 +118,51 @@ func WritePerfJSON(w io.Writer, r *PerfRecord) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadPerfJSON parses a committed BENCH_*.json record.
+func ReadPerfJSON(r io.Reader) (*PerfRecord, error) {
+	var rec PerfRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// PerfDelta is one workload's wall-clock change against a baseline record.
+type PerfDelta struct {
+	Name   string
+	BaseNs int64
+	CurNs  int64
+	// Pct is the signed percentage change; positive means slower than the
+	// baseline.
+	Pct float64
+	// Missing marks a workload present in only one of the two records
+	// (compared as informational, never a regression).
+	Missing bool
+}
+
+// ComparePerf lines the current record up against a baseline, per workload,
+// and reports whether any shared workload regressed by more than tolPct
+// percent wall clock. Pipelined and interp timings ride along in the record
+// but the gate is on NsPerRun, the synchronous-engine number the BENCH_*.json
+// trajectory has always tracked.
+func ComparePerf(base, cur *PerfRecord, tolPct float64) (deltas []PerfDelta, regressed bool) {
+	baseBy := make(map[string]WorkloadPerf, len(base.Workloads))
+	for _, w := range base.Workloads {
+		baseBy[w.Name] = w
+	}
+	for _, w := range cur.Workloads {
+		b, ok := baseBy[w.Name]
+		if !ok || b.NsPerRun == 0 {
+			deltas = append(deltas, PerfDelta{Name: w.Name, CurNs: w.NsPerRun, Missing: true})
+			continue
+		}
+		pct := 100 * (float64(w.NsPerRun) - float64(b.NsPerRun)) / float64(b.NsPerRun)
+		deltas = append(deltas, PerfDelta{Name: w.Name, BaseNs: b.NsPerRun, CurNs: w.NsPerRun, Pct: pct})
+		if pct > tolPct {
+			regressed = true
+		}
+	}
+	return deltas, regressed
 }

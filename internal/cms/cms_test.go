@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -318,6 +319,77 @@ data:
 	if e2.Metrics.ProtFaults <= e.Metrics.ProtFaults {
 		t.Errorf("coarse faults (%d) not worse than fine-grain (%d)",
 			e2.Metrics.ProtFaults, e.Metrics.ProtFaults)
+	}
+}
+
+// TestSMCMidChainTeardown rewrites a block that sits in the middle of a hot
+// chain: the inner loop's translation ends at `call bfunc` and chains to
+// bfunc's translation, whose immediate the guest patches every outer
+// iteration. Every rewrite must invalidate only bfunc's translation, unchain
+// the incoming link, and retranslate from the new bytes — under the compiled
+// backend this is exactly the "never execute stale compiled code" obligation,
+// and the final sums prove every patched immediate took effect.
+func TestSMCMidChainTeardown(t *testing.T) {
+	src := `
+.org 0x1000
+_start:
+	mov edi, 0
+	mov edx, 40              ; outer iterations
+outer:
+	mov [bpatch+2], edx      ; rewrite the imm32 inside chained block bfunc
+	mov ecx, 200             ; hot inner loop
+	mov eax, 0
+inner:
+	call bfunc
+	dec ecx
+	jne inner
+	add edi, eax
+	dec edx
+	jne outer
+	hlt
+	.align 128
+bfunc:
+bpatch:
+	add eax, 0               ; patched every outer iteration
+	ret
+`
+	// Stylized-SMC adoption would absorb the rewrites without invalidation;
+	// turn it off so every patch exercises the full teardown path.
+	cfg := DefaultConfig()
+	cfg.EnableStylized = false
+	e := equiv(t, src, cfg)
+
+	want := uint32(0)
+	for d := uint32(1); d <= 40; d++ {
+		want += 200 * d
+	}
+	if e.CPU().Regs[guest.EDI] != want {
+		t.Fatalf("edi = %d, want %d (stale code executed?)", e.CPU().Regs[guest.EDI], want)
+	}
+	if e.Metrics.ChainTransfers == 0 {
+		t.Error("blocks never chained: test lost its teardown target")
+	}
+	if e.Metrics.ProtFaults == 0 {
+		t.Error("no protection faults: SMC never detected")
+	}
+	if e.Cache.Stats.Unchains == 0 {
+		t.Error("mid-chain invalidation never unchained an incoming link")
+	}
+	if e.Cache.Stats.Invalidations == 0 {
+		t.Error("rewritten block never invalidated")
+	}
+
+	// The teardown machinery is backend-invariant: the interpretive run
+	// makes exactly the same simulated decisions.
+	icfg := cfg
+	icfg.EnableCompiledBackend = false
+	ei := equiv(t, src, icfg)
+	if !reflect.DeepEqual(e.Metrics, ei.Metrics) {
+		t.Errorf("Metrics diverged across backends:\ncompiled %+v\ninterp   %+v", e.Metrics, ei.Metrics)
+	}
+	if e.Cache.Stats != ei.Cache.Stats {
+		t.Errorf("cache stats diverged across backends:\ncompiled %+v\ninterp   %+v",
+			e.Cache.Stats, ei.Cache.Stats)
 	}
 }
 

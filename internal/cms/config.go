@@ -52,6 +52,13 @@ type Config struct {
 	EnableStylized bool
 	// EnableGroups turns on translation groups (§3.6.5).
 	EnableGroups bool
+	// EnableCompiledBackend compiles installed translations into
+	// closure-threaded code on the pipeline workers and executes that form
+	// on the hot path. Purely a wall-clock optimization: gating,
+	// commit/rollback, faults, and all simulated Metrics are identical to
+	// the interpretive backend (the differential test in internal/bench
+	// asserts this on every workload).
+	EnableCompiledBackend bool
 	// EnableChaining links translation exits directly (§2); off forces
 	// every exit through the dispatcher for the chaining experiment.
 	EnableChaining bool
@@ -93,15 +100,16 @@ type Config struct {
 // DefaultConfig returns the standard configuration.
 func DefaultConfig() Config {
 	return Config{
-		HotThreshold:         50,
-		FaultThreshold:       2,
-		TranslateCostPerInsn: 150,
-		LookupCost:           12,
-		EnableFineGrain:      true,
-		EnableSelfReval:      true,
-		EnableStylized:       true,
-		EnableGroups:         true,
-		EnableChaining:       true,
+		HotThreshold:          50,
+		FaultThreshold:        2,
+		TranslateCostPerInsn:  150,
+		LookupCost:            12,
+		EnableFineGrain:       true,
+		EnableSelfReval:       true,
+		EnableStylized:        true,
+		EnableGroups:          true,
+		EnableChaining:        true,
+		EnableCompiledBackend: true,
 	}
 }
 

@@ -66,9 +66,14 @@ func New(plat *dev.Platform, entry uint32, cfg Config) *Engine {
 		Plat:    plat,
 		Interp:  ip,
 		Machine: m,
-		Trans:   &xlate.Translator{Bus: plat.Bus, Prof: ip.Prof, Host: cfg.Host},
-		Cache:   c,
-		sites:   make(map[uint32]*site),
+		Trans: &xlate.Translator{
+			Bus:            plat.Bus,
+			Prof:           ip.Prof,
+			Host:           cfg.Host,
+			CompileBackend: cfg.EnableCompiledBackend,
+		},
+		Cache: c,
+		sites: make(map[uint32]*site),
 	}
 	plat.Bus.DMAInvalidate = func(page uint32) {
 		e.Cache.InvalidatePage(page)
@@ -250,7 +255,18 @@ func (e *Engine) runTranslated(ent *tcache.Entry) {
 		}
 
 		mols0 := e.Machine.Mols
-		out := e.Machine.Exec(cur.T.Code)
+		// Closure-threaded fast path when the translation was compiled;
+		// the interpreter is the always-correct fallback (and the only
+		// path when EnableCompiledBackend is off).
+		var out *vliw.Outcome
+		if cc := cur.T.Compiled; cc != nil {
+			// Machine-owned result, read in place — copying the Outcome
+			// struct per execution is measurable on hot chained loops.
+			out = e.Machine.ExecCompiled(cc)
+		} else {
+			o := e.Machine.Exec(cur.T.Code)
+			out = &o
+		}
 		e.Metrics.MolsTexec += e.Machine.Mols - mols0
 		cur.Execs++
 
@@ -260,7 +276,7 @@ func (e *Engine) runTranslated(ent *tcache.Entry) {
 			e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
 			cpu.EIP = e.Machine.CommittedEIP
 			e.traceFault(EvFault, out.Addr, out.Fault)
-			e.handleFault(cur, out)
+			e.handleFault(cur, *out)
 			return
 		}
 

@@ -279,6 +279,27 @@ func (b *Bus) CheckWrite(addr uint32, size int) *GuestFault {
 	return b.check(addr, size, true)
 }
 
+// FastRead reports whether a read of size bytes at addr lies entirely
+// within one present, non-MMIO page — the case where CheckRead returns nil
+// and the data comes from RAM. It is small enough to inline into the
+// compiled backend's load closures; any access it rejects takes the full
+// slow path, so it may be conservative but never wrong.
+func (b *Bus) FastRead(addr, size uint32) bool {
+	p := addr >> PageShift
+	return p < uint32(len(b.attrs)) && (addr+size-1)>>PageShift == p &&
+		b.attrs[p]&(AttrPresent|AttrMMIO) == AttrPresent
+}
+
+// FastWrite is FastRead's store twin: a single present, writable, non-MMIO
+// page with no CMS write protection, where CheckWrite and CheckProt both
+// return nil with no side effects.
+func (b *Bus) FastWrite(addr, size uint32) bool {
+	p := addr >> PageShift
+	return p < uint32(len(b.attrs)) && (addr+size-1)>>PageShift == p &&
+		b.attrs[p]&(AttrPresent|AttrMMIO|AttrWritable) == AttrPresent|AttrWritable &&
+		(p >= uint32(len(b.protected)) || !b.protected[p])
+}
+
 func (b *Bus) check(addr uint32, size int, write bool) *GuestFault {
 	end := addr + uint32(size) - 1
 	if end < addr { // wrap

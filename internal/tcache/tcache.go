@@ -81,10 +81,14 @@ type chainRef struct {
 	exit int
 }
 
-// Chained returns the chain target of an exit, or nil.
+// Chained returns the chain target of an exit, or nil. Invalidated entries
+// report no chains in either direction: a torn-down translation must never
+// lead to — or from — executable (possibly compiled) code.
 func (e *Entry) Chained(exit int) *Entry {
-	if exit < len(e.chains) {
-		return e.chains[exit]
+	if e.Valid && exit < len(e.chains) {
+		if t := e.chains[exit]; t != nil && t.Valid {
+			return t
+		}
 	}
 	return nil
 }
@@ -263,11 +267,20 @@ func (c *Cache) invalidate(e *Entry, retire bool) {
 		}
 	}
 	if retire {
+		// Retired translations keep their compiled code: §3.6.5 group reuse
+		// reinstalls the same *Translation only after SourceMatches, so the
+		// compiled form is still valid and reinstall stays cheap.
 		g := c.groups[e.T.Entry]
 		if len(g) < c.groupCap {
 			c.groups[e.T.Entry] = append(g, e.T)
 			c.Stats.GroupRetires++
 		}
+	} else {
+		// Replaced in place and not retired: this translation can never be
+		// dispatched again, so drop the compiled code eagerly. Anything
+		// still holding the entry sees Valid==false and re-dispatches; it
+		// must never reach stale compiled closures.
+		e.T.Compiled = nil
 	}
 }
 

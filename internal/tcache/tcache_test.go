@@ -17,10 +17,13 @@ func mkTrans(t *testing.T, bus *mem.Bus, org uint32) *xlate.Translation {
 	b := asm.NewBuilder(org)
 	b.MovRI(3, 1).AddRI(3, 2).Jmp("next").Label("next").Nop().Hlt()
 	bus.WriteRaw(org, b.MustAssemble())
-	tr := &xlate.Translator{Bus: bus}
+	tr := &xlate.Translator{Bus: bus, CompileBackend: true}
 	tl, err := tr.Translate(org, xlate.Policy{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if tl.Compiled == nil {
+		t.Fatal("translator did not compile the translation")
 	}
 	return tl
 }
@@ -84,6 +87,71 @@ func TestChainingAndUnchain(t *testing.T) {
 	}
 	if c.Stats.Unchains != 1 {
 		t.Errorf("unchains = %d", c.Stats.Unchains)
+	}
+}
+
+// TestMidChainInvalidateTearsDown covers the SMC teardown obligation of the
+// compiled backend: invalidating a translation in the middle of a chain must
+// unchain every incoming link, so no stale compiled closures are reachable
+// through either the dispatcher or a chained exit.
+func TestMidChainInvalidateTearsDown(t *testing.T) {
+	bus := newBus()
+	c := New()
+	a := c.Install(mkTrans(t, bus, 0x1000))
+	b := c.Install(mkTrans(t, bus, 0x3000))
+	d := c.Install(mkTrans(t, bus, 0x5000))
+	c.Chain(a, 0, b)
+	c.Chain(b, 0, d)
+
+	// SMC hits b's source bytes: the range invalidation used by the
+	// engine's protection-fault path.
+	hit := c.InvalidateRange(0x3000, 1)
+	if len(hit) != 1 || hit[0] != b {
+		t.Fatalf("range invalidation hit %d entries", len(hit))
+	}
+	if b.Valid {
+		t.Fatal("middle entry still valid")
+	}
+	// The incoming chain a->b is torn down; the dispatcher path is gone too.
+	if a.Chained(0) != nil {
+		t.Fatal("stale chain into invalidated entry survived")
+	}
+	if c.Lookup(0x3000) != nil {
+		t.Fatal("lookup still returns invalidated entry")
+	}
+	// b's own outgoing chain dies with it (b is unreachable), while d keeps
+	// running: its entry, and its compiled code, are untouched.
+	if b.Chained(0) != nil {
+		t.Fatal("invalidated entry still reports an outgoing chain")
+	}
+	if !d.Valid || d.T.Compiled == nil {
+		t.Fatal("downstream entry must survive with its compiled code")
+	}
+	// b was retired into its group (§3.6.5): the compiled code rides along
+	// so a matching reinstall stays cheap, but it is only reachable again
+	// through GroupMatch, which re-verifies the source bytes first.
+	if b.T.Compiled == nil {
+		t.Error("retired translation should keep compiled code for group reuse")
+	}
+}
+
+// TestReplaceInPlaceDropsCompiled covers the other lifecycle edge: when an
+// entry is replaced by a new translation at the same address, the old
+// translation is not retired and its compiled code must be dropped eagerly.
+func TestReplaceInPlaceDropsCompiled(t *testing.T) {
+	bus := newBus()
+	c := New()
+	e1 := c.Install(mkTrans(t, bus, 0x1000))
+	old := e1.T
+	e2 := c.Install(mkTrans(t, bus, 0x1000))
+	if e1.Valid {
+		t.Fatal("old entry must be invalidated")
+	}
+	if old.Compiled != nil {
+		t.Error("replaced-in-place translation kept stale compiled code")
+	}
+	if e2.T.Compiled == nil {
+		t.Error("new translation lost its compiled code")
 	}
 }
 

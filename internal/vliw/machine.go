@@ -131,6 +131,13 @@ type Machine struct {
 	// must start even when a translation committed mid-body to serialize
 	// irrevocable I/O.
 	CommittedEIP uint32
+
+	// cout is the pending outcome slot of the compiled backend: a molecule
+	// closure that exits or faults stores the outcome here and returns the
+	// ccDone sentinel (see compile.go). Keeping the slot on the machine keeps
+	// the compiled hot path free of per-exit allocations, mirroring how Exec
+	// returns its Outcome by value.
+	cout Outcome
 }
 
 // NewMachine returns a machine over the bus.
@@ -216,8 +223,9 @@ func (m *Machine) sbLoad(addr uint32, size uint8) uint32 {
 	} else {
 		v = m.Bus.Read32(addr)
 	}
+	end := addr + uint32(size)
 	for _, e := range m.sb {
-		if e.kind != sbRAM {
+		if e.kind != sbRAM || e.addr >= end || addr >= e.addr+uint32(e.size) {
 			continue
 		}
 		// Apply overlapping bytes of e onto the loaded window, in order.
@@ -279,7 +287,7 @@ func (m *Machine) Exec(code *Code) Outcome {
 	for {
 		// Interrupt window at molecule boundaries (§3.3): rollback and let
 		// the runtime deliver at the last committed boundary.
-		if m.IRQ != nil && m.Shadow[RFlags]&guest.FlagIF != 0 && m.IRQ.HasPending() {
+		if m.IRQ != nil && m.IRQ.HasPending() && m.Shadow[RFlags]&guest.FlagIF != 0 {
 			m.rollback()
 			return Outcome{Fault: FIRQ, Exit: -1, GIdx: -1}
 		}

@@ -48,9 +48,27 @@ type dep struct {
 // regalloc maps virtual registers to host registers. Guest state vregs are
 // pinned; temporaries are linear-scan allocated. reserve registers are kept
 // out of the pool (for the self-check accumulator etc.).
-func regalloc(region *ir.Region, reserve int) (map[ir.VReg]vliw.HReg, error) {
+func regalloc(region *ir.Region, reserve int) ([]vliw.HReg, error) {
 	code := region.Code
-	assign := make(map[ir.VReg]vliw.HReg)
+	// Vregs are dense small integers; the assignment table and the interval
+	// maps below are slices, not maps, for the emitter's per-operand lookups.
+	maxV := ir.VFlags
+	var scratch []ir.VReg
+	for i := range code {
+		scratch = code[i].Defs(scratch[:0])
+		for _, d := range scratch {
+			if d > maxV {
+				maxV = d
+			}
+		}
+		scratch = code[i].Uses(scratch[:0])
+		for _, u := range scratch {
+			if u > maxV {
+				maxV = u
+			}
+		}
+	}
+	assign := make([]vliw.HReg, maxV+1)
 	for v := ir.VReg(0); v <= ir.VFlags; v++ {
 		assign[v] = vliw.HReg(v)
 	}
@@ -59,14 +77,16 @@ func regalloc(region *ir.Region, reserve int) (map[ir.VReg]vliw.HReg, error) {
 		v          ir.VReg
 		start, end int
 	}
-	starts := make(map[ir.VReg]int)
-	ends := make(map[ir.VReg]int)
-	var scratch []ir.VReg
+	starts := make([]int, maxV+1)
+	ends := make([]int, maxV+1)
+	for v := range starts {
+		starts[v] = -1
+	}
 	for i := range code {
 		scratch = code[i].Defs(scratch[:0])
 		for _, d := range scratch {
 			if d >= ir.VTemp0 {
-				if _, dup := starts[d]; !dup {
+				if starts[d] < 0 {
 					starts[d] = i
 				}
 				ends[d] = i
@@ -81,17 +101,19 @@ func regalloc(region *ir.Region, reserve int) (map[ir.VReg]vliw.HReg, error) {
 		// Side-exit fixups read their sources at the exit.
 		if code[i].Op == ir.OpExitIf {
 			for _, fx := range region.Exits[code[i].Exit].Fixups {
-				if fx.Src >= ir.VTemp0 {
+				if fx.Src >= ir.VTemp0 && int(fx.Src) < len(ends) {
 					ends[fx.Src] = i
 				}
 			}
 		}
 	}
-	intervals := make([]interval, 0, len(starts))
-	for v, s := range starts {
-		intervals = append(intervals, interval{v, s, ends[v]})
+	intervals := make([]interval, 0, max(0, int(maxV)+1-int(ir.VTemp0)))
+	for v := ir.VTemp0; v <= maxV; v++ {
+		if starts[v] >= 0 {
+			intervals = append(intervals, interval{v, starts[v], ends[v]})
+		}
 	}
-	sort.Slice(intervals, func(i, j int) bool { return intervals[i].start < intervals[j].start })
+	sort.SliceStable(intervals, func(i, j int) bool { return intervals[i].start < intervals[j].start })
 
 	var pool []vliw.HReg
 	for r := vliw.RTempBase; r <= vliw.RTempLast-vliw.HReg(reserve); r++ {
@@ -132,19 +154,19 @@ type emitter struct {
 	region *ir.Region
 	pol    Policy
 	host   vliw.HostConfig
-	assign map[ir.VReg]vliw.HReg
+	assign []vliw.HReg
 
 	atoms []satom
 
 	defVer map[ir.VReg]int // IR-level def versions for disjointness
 
-	aliasNext  int            // next free alias entry
-	aliasPairs map[int][]int8 // store atom idx -> entries to check
-	smcEntries []int8         // entries owned by self-check loads
-	failExit   int32          // self-check fail exit index, or -1
+	aliasNext  int      // next free alias entry
+	aliasPairs [][]int8 // store atom idx -> entries to check
+	smcEntries []int8   // entries owned by self-check loads
+	failExit   int32    // self-check fail exit index, or -1
 }
 
-func hregOrZero(assign map[ir.VReg]vliw.HReg, v ir.VReg) vliw.HReg {
+func hregOrZero(assign []vliw.HReg, v ir.VReg) vliw.HReg {
 	if v == ir.NoVReg {
 		return vliw.RZero
 	}
@@ -395,18 +417,14 @@ func (em *emitter) addDep(to, from, delta int) {
 // is where speculation lives: omitted edges are the freedoms §3.2-§3.5
 // grant, and the alias bookkeeping records the runtime checks they require.
 func (em *emitter) buildDeps() {
-	em.aliasPairs = make(map[int][]int8)
-	lastDef := make(map[vliw.HReg]int)
-	lastUses := make(map[vliw.HReg][]int)
+	// Dense per-register tracking: host registers are a small fixed range,
+	// so slices beat maps for the scheduler's inner loops.
+	em.aliasPairs = make([][]int8, len(em.atoms))
+	var lastDef [vliw.NumHRegs]int
+	var lastUses [vliw.NumHRegs][]int
 	for r := range lastDef {
-		delete(lastDef, r)
+		lastDef[r] = -1
 	}
-	init := func(m map[vliw.HReg]int) {
-		for r := vliw.HReg(0); r < vliw.NumHRegs; r++ {
-			m[r] = -1
-		}
-	}
-	init(lastDef)
 
 	lastBarrier := -1
 	lastStore := -1
@@ -595,16 +613,21 @@ func (em *emitter) schedule() (*vliw.Code, error) {
 	var mols []vliw.Molecule
 	cycle := 0
 	guard := 0
+	var candBuf, taken []int // reused across cycles
 	for remaining > 0 {
 		guard++
 		if guard > 100*n+1000 {
 			return nil, fmt.Errorf("xlate: scheduler livelock (%d atoms left)", remaining)
 		}
 		// Candidates ready at this cycle, best priority first.
-		cands := cands(ready, earliest, cycle, height)
+		candBuf = candsInto(candBuf[:0], ready, earliest, cycle, height)
+		cands := candBuf
 		var molAtoms []vliw.Atom
+		if len(cands) > 0 {
+			molAtoms = make([]vliw.Atom, 0, min(em.host.Width, len(cands)))
+		}
 		var alu, memu, media, br int
-		var taken []int
+		taken = taken[:0]
 		for _, j := range cands {
 			if len(molAtoms) >= em.host.Width {
 				break
@@ -714,19 +737,26 @@ func (em *emitter) schedule() (*vliw.Code, error) {
 	return code, nil
 }
 
-func cands(ready []int, earliest []int, cycle int, height []int) []int {
-	out := make([]int, 0, len(ready))
+// candsInto appends the atoms ready at this cycle to out (a scratch buffer
+// reused across cycles), ordered best priority first: height descending,
+// index ascending. Candidate lists are small, so an insertion sort beats
+// sort.Slice's closure indirection in the scheduler's innermost loop.
+func candsInto(out, ready []int, earliest []int, cycle int, height []int) []int {
 	for _, j := range ready {
 		if earliest[j] <= cycle {
 			out = append(out, j)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if height[out[a]] != height[out[b]] {
-			return height[out[a]] > height[out[b]]
+	for i := 1; i < len(out); i++ {
+		v := out[i]
+		k := i
+		for k > 0 && (height[out[k-1]] < height[v] ||
+			(height[out[k-1]] == height[v] && out[k-1] > v)) {
+			out[k] = out[k-1]
+			k--
 		}
-		return out[a] < out[b]
-	})
+		out[k] = v
+	}
 	return out
 }
 

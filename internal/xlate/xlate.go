@@ -21,6 +21,12 @@ type Translation struct {
 	Code   *vliw.Code
 	Policy Policy
 
+	// Compiled is the closure-threaded form of Code, built on the pipeline
+	// workers when the translator's CompileBackend is on. Nil means the
+	// engine interprets Code; the translation cache nils it when an entry
+	// is replaced in place so stale compiled code can never run.
+	Compiled *vliw.CompiledCode
+
 	// SrcRanges are the coalesced guest code byte ranges this translation
 	// was made from.
 	SrcRanges []ir.SrcRange
@@ -181,6 +187,12 @@ type Translator struct {
 	// the guest-visible architecture is unaffected (§2).
 	Host vliw.HostConfig
 
+	// CompileBackend makes Translate also compile the scheduled code into
+	// the closure-threaded form (vliw.Compile). The compile runs wherever
+	// Translate runs — on the pipeline workers in the concurrent
+	// configuration — keeping it off the engine thread.
+	CompileBackend bool
+
 	// Translated counts successful translations; InsnsTranslated counts
 	// guest instructions they covered (the translator work metric).
 	Translated      uint64
@@ -240,6 +252,8 @@ type Request struct {
 	// profile input lowering reads), copied out of the live profile.
 	prof *interp.Profile
 	host vliw.HostConfig
+	// compile is the translator's CompileBackend, frozen at Prepare time.
+	compile bool
 }
 
 // Prepare runs the front end of translation — region selection and source
@@ -253,11 +267,12 @@ func (tr *Translator) Prepare(entry uint32, pol Policy) (*Request, error) {
 		return nil, err
 	}
 	req := &Request{
-		Entry:  entry,
-		Pol:    pol,
-		insns:  insns,
-		ranges: ir.SrcRangesOf(insns),
-		host:   tr.host(),
+		Entry:   entry,
+		Pol:     pol,
+		insns:   insns,
+		ranges:  ir.SrcRangesOf(insns),
+		host:    tr.host(),
+		compile: tr.CompileBackend,
 	}
 	req.bytes = make([][]byte, len(req.ranges))
 	for ri, r := range req.ranges {
@@ -300,6 +315,9 @@ func (req *Request) Translate() (*Translation, error) {
 	for {
 		t, err := req.translateOnce(cap)
 		if err == nil {
+			if req.compile {
+				t.Compiled = vliw.Compile(t.Code)
+			}
 			return t, nil
 		}
 		if errors.Is(err, errRegPressure) && cap > 4 {
@@ -342,6 +360,9 @@ func (req *Request) translateOnce(capInsns int) (*Translation, error) {
 	t.snapshot(req, p)
 
 	em := &emitter{region: region, pol: p, host: req.host, assign: assign}
+	// Most IR ops lower 1:1 (plus exit stubs); presizing skips the append
+	// regrowth that otherwise dominates the emitter's allocations.
+	em.atoms = make([]satom, 0, len(region.Code)+2*len(region.Exits)+8)
 	if p.SelfCheck {
 		em.emitSelfCheck(checkWordsFor(t), vliw.RTempLast, vliw.RTempLast-1, vliw.RTempLast-2)
 	}

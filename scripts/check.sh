@@ -16,4 +16,22 @@ fi
 
 go vet ./...
 go test -race ./...
+
+# The differential backend test is the compiled backend's correctness
+# contract (identical state and Metrics on every workload under both
+# backends); run it by name so the gate fails loudly if it is ever renamed
+# away or skipped.
+go test -race -run 'TestBackendDifferential' -count=1 ./internal/bench/
+
+# Build and smoke-run every example program: the examples exercise the
+# public facade end to end, including the compiled hot path.
+mkdir -p "${TMPDIR:-/tmp}/cms-examples"
+for ex in examples/*/; do
+	name=$(basename "$ex")
+	bin="${TMPDIR:-/tmp}/cms-examples/$name"
+	go build -o "$bin" "./$ex"
+	"$bin" >/dev/null
+	echo "check.sh: example $name ok"
+done
+
 echo "check.sh: all green"
