@@ -36,7 +36,7 @@ import (
 const regressionTolerancePct = 10.0
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults, farm")
 	wl := flag.String("workload", "win98_boot", "workload for the flow/chain experiments")
 	list := flag.Bool("list", false, "list the benchmark suite and exit")
 	jsonPath := flag.String("json", "", "measure wall-clock perf over the hot kernels and write a JSON record to this file")
@@ -238,6 +238,14 @@ func main() {
 			return err
 		}
 		bench.WriteFaults(os.Stdout, r)
+		return nil
+	})
+	run("farm", func() error {
+		rows, err := bench.FarmThroughput()
+		if err != nil {
+			return err
+		}
+		bench.WriteFarm(os.Stdout, rows)
 		return nil
 	})
 }

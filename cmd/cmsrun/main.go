@@ -13,11 +13,20 @@
 //	cmsrun -noaliashw prog.s         # Figure 3 conditions
 //	cmsrun -nofinegrain prog.s       # Table 1 conditions
 //	cmsrun -interp prog.s            # pure interpretation
+//
+// Exit codes, so scripts can tell outcomes apart:
+//
+//	0  the guest ran to a clean hlt
+//	1  usage or tool error (bad flags, unreadable or unassemblable input)
+//	2  the guest died on an unrecoverable fault
+//	3  the instruction budget ran out before the guest halted
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,7 +38,21 @@ import (
 	"cms/internal/vliw"
 )
 
+// Exit codes.
+const (
+	exitOK     = 0
+	exitUsage  = 1
+	exitFault  = 2
+	exitBudget = 3
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flag := flag.NewFlagSet("cmsrun", flag.ContinueOnError)
+	flag.SetOutput(stderr)
 	var (
 		imagePath = flag.String("image", "", "raw image file (instead of assembly source)")
 		orgFlag   = flag.String("org", "0x1000", "load origin for -image")
@@ -57,12 +80,14 @@ func main() {
 		verbose     = flag.Bool("v", false, "print the full metric breakdown")
 		traceN      = flag.Int("trace", 0, "record and print up to N engine events")
 	)
-	flag.Parse()
+	if err := flag.Parse(args); err != nil {
+		return exitUsage
+	}
 
 	img, disk, entry, err := loadProgram(*imagePath, *orgFlag, *entryFlag, *diskPath, flag.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cmsrun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "cmsrun:", err)
+		return exitUsage
 	}
 
 	cfg := cms.DefaultConfig()
@@ -94,50 +119,59 @@ func main() {
 	runErr := e.Run(*budget)
 
 	if e.Trace != nil {
-		fmt.Println("--- engine trace ---")
-		e.Trace.Write(os.Stdout)
-		fmt.Println("--------------------")
+		fmt.Fprintln(stdout, "--- engine trace ---")
+		e.Trace.Write(stdout)
+		fmt.Fprintln(stdout, "--------------------")
 	}
 
 	if *showConsole && len(plat.Console.Output()) > 0 {
-		fmt.Printf("--- console ---\n%s\n---------------\n", plat.Console.OutputString())
+		fmt.Fprintf(stdout, "--- console ---\n%s\n---------------\n", plat.Console.OutputString())
 	}
 	m := &e.Metrics
-	fmt.Printf("guest instructions: %d (interp %d, translated %d)\n",
+	fmt.Fprintf(stdout, "guest instructions: %d (interp %d, translated %d)\n",
 		m.GuestTotal(), m.GuestInterp, m.GuestTexec)
-	fmt.Printf("molecules:          %d (%.2f per instruction)\n", m.TotalMols(), m.MPI())
-	fmt.Printf("translations:       %d (%d guest insns, %d atoms)\n",
+	fmt.Fprintf(stdout, "molecules:          %d (%.2f per instruction)\n", m.TotalMols(), m.MPI())
+	fmt.Fprintf(stdout, "translations:       %d (%d guest insns, %d atoms)\n",
 		m.Translations, m.GuestInsnsTranslated, m.CodeAtoms)
 	if *verbose {
-		fmt.Printf("molecule breakdown: texec %d, interp %d, translate %d, prologue %d\n",
+		fmt.Fprintf(stdout, "molecule breakdown: texec %d, interp %d, translate %d, prologue %d\n",
 			m.MolsTexec, m.MolsInterp, m.MolsTranslate, m.MolsPrologue)
-		fmt.Printf("dispatch: to-tcache %d, chained %d, lookups %d, returns %d\n",
+		fmt.Fprintf(stdout, "dispatch: to-tcache %d, chained %d, lookups %d, returns %d\n",
 			m.DispatchToTexec, m.ChainTransfers, m.LookupTransfers, m.DispatchReturns)
-		fmt.Printf("indirect target cache: hits %d, misses %d\n",
+		fmt.Fprintf(stdout, "indirect target cache: hits %d, misses %d\n",
 			m.IndirectHits, m.IndirectMisses)
 		if m.PipelineSubmits > 0 {
-			fmt.Printf("pipeline: submits %d, installs %d, stale %d\n",
+			fmt.Fprintf(stdout, "pipeline: submits %d, installs %d, stale %d\n",
 				m.PipelineSubmits, m.PipelineInstalls, m.PipelineStale)
 		}
 		for c := vliw.FaultClass(1); c < 8; c++ {
 			if m.Faults[c] > 0 {
-				fmt.Printf("faults[%s]: %d (adaptations %d)\n", c, m.Faults[c], m.Adaptations[c])
+				fmt.Fprintf(stdout, "faults[%s]: %d (adaptations %d)\n", c, m.Faults[c], m.Adaptations[c])
 			}
 		}
-		fmt.Printf("smc: prot-faults %d, fine-grain conversions %d, reval arms/passes/fails %d/%d/%d\n",
+		fmt.Fprintf(stdout, "smc: prot-faults %d, fine-grain conversions %d, reval arms/passes/fails %d/%d/%d\n",
 			m.ProtFaults, m.FineGrainConversions, m.SelfRevalArms, m.SelfRevalPasses, m.SelfRevalFails)
-		fmt.Printf("smc: stylized %d, group reuses %d, self-check fails %d, dma invalidations %d\n",
+		fmt.Fprintf(stdout, "smc: stylized %d, group reuses %d, self-check fails %d, dma invalidations %d\n",
 			m.StylizedAdopts, m.GroupReuses, m.SelfCheckFails, m.DMAInvalidations)
-		fmt.Printf("interrupts delivered: %d\n", m.Interrupts)
+		fmt.Fprintf(stdout, "interrupts delivered: %d\n", m.Interrupts)
 	}
 	final := e.CPU()
-	fmt.Printf("final state: eax=%#x ebx=%#x ecx=%#x edx=%#x esi=%#x edi=%#x\n",
+	fmt.Fprintf(stdout, "final state: eax=%#x ebx=%#x ecx=%#x edx=%#x esi=%#x edi=%#x\n",
 		final.Regs[guest.EAX], final.Regs[guest.EBX], final.Regs[guest.ECX],
 		final.Regs[guest.EDX], final.Regs[guest.ESI], final.Regs[guest.EDI])
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "cmsrun:", runErr)
-		os.Exit(1)
+	switch {
+	case errors.Is(runErr, cms.ErrBudget):
+		fmt.Fprintln(stderr, "cmsrun:", runErr)
+		return exitBudget
+	case runErr != nil:
+		fmt.Fprintln(stderr, "cmsrun:", runErr)
+		return exitFault
+	case !final.Halted:
+		// Defensive: a nil-error, non-halted return should not happen.
+		fmt.Fprintln(stderr, "cmsrun: guest stopped without halting")
+		return exitBudget
 	}
+	return exitOK
 }
 
 type image struct {

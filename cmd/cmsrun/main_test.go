@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -41,6 +42,86 @@ func TestLoadProgramFromImage(t *testing.T) {
 	}
 	if string(d) != "DISKDATA" {
 		t.Errorf("disk %q", d)
+	}
+}
+
+func runCmsrun(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCleanHalt(t *testing.T) {
+	src := write(t, "p.s", ".org 0x1000\n_start:\n mov eax, 7\n hlt\n")
+	code, stdout, _ := runCmsrun(t, src)
+	if code != exitOK {
+		t.Fatalf("exit = %d, want %d", code, exitOK)
+	}
+	if !strings.Contains(stdout, "eax=0x7") {
+		t.Errorf("stdout missing final state: %q", stdout)
+	}
+}
+
+// TestExitGuestFault is the scripting fix: a guest that dies on an
+// unrecoverable fault (here an unhandled software interrupt) must be
+// distinguishable to callers from a clean hlt and from tool errors.
+func TestExitGuestFault(t *testing.T) {
+	src := write(t, "p.s", ".org 0x1000\n_start:\n int 5\n hlt\n")
+	code, _, stderr := runCmsrun(t, src)
+	if code != exitFault {
+		t.Fatalf("exit = %d (stderr %q), want %d", code, stderr, exitFault)
+	}
+	if stderr == "" {
+		t.Error("fault exited silently")
+	}
+}
+
+// TestExitGuestFaultInTranslatedCode faults after hot translated code ran —
+// the recovery path (rollback, re-interpretation, genuine-fault delivery)
+// must surface the same exit code as an interpreter-path fault.
+func TestExitGuestFaultInTranslatedCode(t *testing.T) {
+	src := write(t, "p.s", `
+.org 0x1000
+_start:
+	mov ecx, 2000
+loop:
+	add eax, 1
+	dec ecx
+	jne loop
+	mov ebx, [0x800000]
+	hlt
+`)
+	code, _, _ := runCmsrun(t, "-ram", "2097152", src)
+	if code != exitFault {
+		t.Fatalf("exit = %d, want %d", code, exitFault)
+	}
+}
+
+func TestExitBudgetExhausted(t *testing.T) {
+	src := write(t, "p.s", ".org 0x1000\n_start:\n jmp _start\n")
+	code, _, stderr := runCmsrun(t, "-budget", "10000", src)
+	if code != exitBudget {
+		t.Fatalf("exit = %d (stderr %q), want %d", code, stderr, exitBudget)
+	}
+	if !strings.Contains(stderr, "budget") {
+		t.Errorf("stderr = %q, want budget message", stderr)
+	}
+}
+
+func TestExitUsageErrors(t *testing.T) {
+	if code, _, _ := runCmsrun(t); code != exitUsage {
+		t.Errorf("no args: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCmsrun(t, "/no/such/file.s"); code != exitUsage {
+		t.Errorf("missing file: exit %d, want %d", code, exitUsage)
+	}
+	bad := write(t, "bad.s", "not a real instruction\n")
+	if code, _, _ := runCmsrun(t, bad); code != exitUsage {
+		t.Errorf("bad assembly: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := runCmsrun(t, "-no-such-flag"); code != exitUsage {
+		t.Errorf("bad flag: exit %d, want %d", code, exitUsage)
 	}
 }
 

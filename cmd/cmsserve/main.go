@@ -1,0 +1,146 @@
+// Command cmsserve is the serving daemon for the multi-guest farm: it runs
+// N concurrent guest VMs over one shared content-addressed translation
+// store and exposes a small HTTP API plus Prometheus-text metrics.
+//
+//	cmsserve -addr :8086 -vms 4
+//
+//	POST /v1/jobs        {"workload":"eqntott"} or {"source":"...", "budget":N}
+//	                     → 202 {job}, 400 bad spec, 429 queue full
+//	GET  /v1/jobs        → all jobs in submission order
+//	GET  /v1/jobs/{id}   → one job (includes result when done)
+//	GET  /metrics        → Prometheus text exposition
+//	GET  /healthz        → 200 ok
+//
+// SIGTERM/SIGINT stops admission, drains every queued and running VM to
+// completion, and exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cms/internal/cms"
+	"cms/internal/farm"
+)
+
+// server wires the farm to the HTTP API.
+type server struct {
+	farm *farm.Farm
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec farm.JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	v, err := s.farm.Submit(spec)
+	switch {
+	case errors.Is(err, farm.ErrQueueFull):
+		// Backpressure: the admission queue is bounded; tell the client to
+		// come back rather than buffering unboundedly.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, farm.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.farm.Jobs())
+}
+
+func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.farm.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	farm.WriteMetrics(w, s.farm)
+}
+
+func main() {
+	addr := flag.String("addr", ":8086", "listen address")
+	vms := flag.Int("vms", 4, "concurrent guest VMs")
+	queue := flag.Int("queue", 64, "admission queue depth")
+	storeAtoms := flag.Int("store-atoms", 0, "shared store budget in code atoms (0 = default)")
+	pipeWorkers := flag.Int("pipeline-workers", 0, "translation pipeline workers per VM (0 = synchronous)")
+	flag.Parse()
+
+	cfg := cms.DefaultConfig()
+	cfg.PipelineWorkers = *pipeWorkers
+	f := farm.New(farm.Config{
+		MaxVMs:        *vms,
+		QueueDepth:    *queue,
+		StoreCapAtoms: *storeAtoms,
+		Engine:        cfg,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: (&server{farm: f}).routes()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		<-sig
+		log.Printf("cmsserve: draining (%d queued, %d active)...",
+			f.Stats().Queued, f.Stats().Active)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx) // stop accepting HTTP, finish in-flight requests
+		f.Drain()             // run every admitted VM to completion
+		close(done)
+	}()
+
+	log.Printf("cmsserve: listening on %s (%d VMs, queue %d)", *addr, *vms, *queue)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	st := f.Stats()
+	log.Printf("cmsserve: drained: %d done, %d failed, dedup %.1f%%",
+		st.Done, st.Failed, 100*st.Store.DedupRatio())
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cms/internal/cms"
+	"cms/internal/farm"
+)
+
+const smokeSource = `
+.org 0x1000
+_start:
+	mov ecx, 20000
+loop:
+	add eax, 3
+	dec ecx
+	jne loop
+	hlt
+`
+
+func newTestServer(t *testing.T, fcfg farm.Config) (*httptest.Server, *farm.Farm) {
+	t.Helper()
+	if fcfg.Engine.HotThreshold == 0 {
+		fcfg.Engine = cms.DefaultConfig()
+	}
+	f := farm.New(fcfg)
+	ts := httptest.NewServer((&server{farm: f}).routes())
+	t.Cleanup(func() { ts.Close(); f.Drain() })
+	return ts, f
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, farm.JobView) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v farm.JobView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, v
+}
+
+// TestServeSmoke is the end-to-end loop: submit a job over HTTP, poll until
+// it completes, check the result and the metrics endpoint.
+func TestServeSmoke(t *testing.T) {
+	ts, _ := newTestServer(t, farm.Config{MaxVMs: 2})
+
+	resp, v := postJob(t, ts, `{"source":`+jsonString(smokeSource)+`}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if v.ID == "" || v.Status != farm.StatusQueued {
+		t.Fatalf("submit view = %+v", v)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var got farm.JobView
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if got.Status == farm.StatusDone || got.Status == farm.StatusFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", got.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got.Status != farm.StatusDone {
+		t.Fatalf("status %s: %s", got.Status, got.Error)
+	}
+	if !got.Result.Halted || got.Result.Regs[0] != 60000 {
+		t.Errorf("result = halted %v eax %d, want halted 60000", got.Result.Halted, got.Result.Regs[0])
+	}
+
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{"cms_farm_jobs_done_total 1", "cms_farm_store_misses_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, farm.Config{MaxVMs: 1})
+	if resp, _ := postJob(t, ts, `{`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: %d", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, ts, `{}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty spec: %d", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, ts, `{"workload":"nope"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown workload: %d", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: %d", r.StatusCode)
+	}
+}
+
+// TestQueueFullIs429 fills a tiny queue and checks the overflow submission
+// is refused with 429 and a Retry-After hint.
+func TestQueueFullIs429(t *testing.T) {
+	ts, _ := newTestServer(t, farm.Config{MaxVMs: 1, QueueDepth: 1})
+	// A job long enough (~15M guest insns) that the single VM slot is still
+	// busy while the later submissions arrive.
+	slow := strings.Replace(smokeSource, "20000", "5000000", 1)
+	src := `{"source":` + jsonString(slow) + `}`
+	saw429 := false
+	for i := 0; i < 8; i++ {
+		resp, _ := postJob(t, ts, src)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+			saw429 = true
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if !saw429 {
+		t.Error("never saw backpressure from a depth-1 queue")
+	}
+}
+
+func TestListAndHealth(t *testing.T) {
+	ts, f := newTestServer(t, farm.Config{MaxVMs: 1})
+	if _, err := f.Submit(farm.JobSpec{Source: smokeSource}); err != nil {
+		t.Fatal(err)
+	}
+	f.Wait()
+	r, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var views []farm.JobView
+	if err := json.NewDecoder(r.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || views[0].Status != farm.StatusDone {
+		t.Errorf("views = %+v", views)
+	}
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", h.StatusCode)
+	}
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

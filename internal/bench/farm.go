@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cms/internal/cms"
+	"cms/internal/farm"
+)
+
+// FarmLevels are the concurrency levels the farm experiment sweeps.
+var FarmLevels = []int{1, 4, 8}
+
+// FarmJobsPerLevel is how many VM runs each level serves. The job list
+// cycles through FarmWorkloads, so every level sees repeated workloads and
+// the shared store's dedup engages the way it would in a real serving farm.
+const FarmJobsPerLevel = 12
+
+// FarmWorkloads are the kernels the farm experiment serves.
+var FarmWorkloads = []string{"eqntott", "compress", "alvinn"}
+
+// FarmPerf is one concurrency level's serving measurement.
+type FarmPerf struct {
+	VMs    int   `json:"vms"`
+	Jobs   int   `json:"jobs"`
+	WallNs int64 `json:"wall_ns"`
+	// VMsPerSec is serving throughput: completed VM runs per wall-clock
+	// second.
+	VMsPerSec float64 `json:"vms_per_sec"`
+	// DedupRatio is the shared store's hit fraction over the whole level.
+	DedupRatio  float64 `json:"dedup_ratio"`
+	StoreHits   uint64  `json:"store_hits"`
+	StoreMisses uint64  `json:"store_misses"`
+}
+
+// FarmThroughput measures serving throughput at each concurrency level:
+// one fresh farm per level (cold shared store), FarmJobsPerLevel jobs
+// cycling through FarmWorkloads, wall clock from first submit to drain.
+func FarmThroughput() ([]FarmPerf, error) {
+	var out []FarmPerf
+	for _, vms := range FarmLevels {
+		f := farm.New(farm.Config{
+			MaxVMs:     vms,
+			QueueDepth: FarmJobsPerLevel,
+			Engine:     cms.DefaultConfig(),
+		})
+		t0 := time.Now()
+		for i := 0; i < FarmJobsPerLevel; i++ {
+			name := FarmWorkloads[i%len(FarmWorkloads)]
+			if _, err := f.Submit(farm.JobSpec{Workload: name}); err != nil {
+				return nil, fmt.Errorf("bench: farm submit %s: %w", name, err)
+			}
+		}
+		f.Drain()
+		wall := time.Since(t0).Nanoseconds()
+		st := f.Stats()
+		if st.Failed > 0 {
+			for _, j := range f.Jobs() {
+				if j.Status == farm.StatusFailed {
+					return nil, fmt.Errorf("bench: farm job %s (%s): %s", j.ID, j.Spec.Workload, j.Error)
+				}
+			}
+		}
+		out = append(out, FarmPerf{
+			VMs:         vms,
+			Jobs:        FarmJobsPerLevel,
+			WallNs:      wall,
+			VMsPerSec:   float64(FarmJobsPerLevel) / (float64(wall) / 1e9),
+			DedupRatio:  st.Store.DedupRatio(),
+			StoreHits:   st.Store.Hits + st.Store.Waits,
+			StoreMisses: st.Store.Misses,
+		})
+	}
+	return out, nil
+}
+
+// WriteFarm renders the farm sweep as a text table.
+func WriteFarm(w io.Writer, rows []FarmPerf) {
+	fmt.Fprintf(w, "Serving farm: %d jobs over %v, shared translation store\n", FarmJobsPerLevel, FarmWorkloads)
+	fmt.Fprintf(w, "%4s %6s %12s %10s %8s %8s %8s\n",
+		"vms", "jobs", "wall ms", "VMs/sec", "dedup", "hits", "misses")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %6d %12.1f %10.2f %7.1f%% %8d %8d\n",
+			r.VMs, r.Jobs, float64(r.WallNs)/1e6, r.VMsPerSec,
+			100*r.DedupRatio, r.StoreHits, r.StoreMisses)
+	}
+}

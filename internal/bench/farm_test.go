@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFarmThroughputShape(t *testing.T) {
+	rows, err := FarmThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FarmLevels) {
+		t.Fatalf("%d rows, want %d", len(rows), len(FarmLevels))
+	}
+	for i, r := range rows {
+		if r.VMs != FarmLevels[i] || r.Jobs != FarmJobsPerLevel {
+			t.Errorf("row %d: vms=%d jobs=%d", i, r.VMs, r.Jobs)
+		}
+		if r.VMsPerSec <= 0 || r.WallNs <= 0 {
+			t.Errorf("row %d: no throughput measured: %+v", i, r)
+		}
+		// 12 jobs over 3 distinct workloads: at least the 9 duplicates
+		// dedup through the shared store.
+		if r.DedupRatio < 0.5 {
+			t.Errorf("row %d: dedup ratio %.2f, want >= 0.5", i, r.DedupRatio)
+		}
+	}
+	var sb strings.Builder
+	WriteFarm(&sb, rows)
+	if !strings.Contains(sb.String(), "VMs/sec") {
+		t.Error("WriteFarm output missing header")
+	}
+}
+
+// TestPerfRecordBackwardCompat parses a pre-farm BENCH record (no "farm"
+// field) and checks the regression gate still works against a new-format
+// record carrying farm rows.
+func TestPerfRecordBackwardCompat(t *testing.T) {
+	old := `{"date":"2026-01-01","go_version":"go1.24","num_cpu":1,"runs_per_workload":3,
+	  "workloads":[{"name":"eqntott","ns_per_run":1000000,"guest_insns":1,"mguest_per_sec":1}]}`
+	base, err := ReadPerfJSON(strings.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Farm != nil {
+		t.Error("old record grew farm rows from nowhere")
+	}
+	cur := &PerfRecord{
+		Workloads: []WorkloadPerf{{Name: "eqntott", NsPerRun: 1050000}},
+		Farm:      []FarmPerf{{VMs: 1, Jobs: 1}},
+	}
+	deltas, regressed := ComparePerf(base, cur, 10)
+	if regressed || len(deltas) != 1 || deltas[0].Pct < 4.9 || deltas[0].Pct > 5.1 {
+		t.Errorf("deltas = %+v, regressed = %v", deltas, regressed)
+	}
+}

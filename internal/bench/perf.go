@@ -45,6 +45,10 @@ type PerfRecord struct {
 	NumCPU    int            `json:"num_cpu"`
 	Runs      int            `json:"runs_per_workload"`
 	Workloads []WorkloadPerf `json:"workloads"`
+	// Farm is the serving-farm throughput sweep (VMs/sec and dedup rate per
+	// concurrency level). Informational: the -baseline regression gate stays
+	// on NsPerRun, and records written before the farm existed omit it.
+	Farm []FarmPerf `json:"farm,omitempty"`
 }
 
 // Perf measures every PerfWorkloads kernel, best-of-runs.
@@ -88,6 +92,11 @@ func Perf(runs int) (*PerfRecord, error) {
 			MguestPerSec:      float64(guest) / (float64(sync) / 1e9) / 1e6,
 		})
 	}
+	farmRows, err := FarmThroughput()
+	if err != nil {
+		return nil, err
+	}
+	rec.Farm = farmRows
 	return rec, nil
 }
 

@@ -9,6 +9,7 @@
 package cms
 
 import (
+	"cms/internal/tcache"
 	"cms/internal/vliw"
 	"cms/internal/xlate"
 )
@@ -95,6 +96,15 @@ type Config struct {
 	// cache hit (0 = default 2) — the cheap inline-cache path that replaces
 	// the full LookupCost dispatch lookup for hot indirect jumps.
 	IndTCHitCost uint64
+
+	// SharedStore, when non-nil, deduplicates translation work across
+	// engines through a farm-wide content-addressed store (internal/farm):
+	// requests whose frozen capture hashes identically are translated and
+	// compiled once, and every engine installs its own clone of the shared
+	// artifact. Purely a wall-clock optimization — the engine charges the
+	// same simulated translation cost on a store hit as on a miss, so
+	// Metrics and final guest state are bit-identical to a solo run.
+	SharedStore *tcache.SharedStore
 }
 
 // DefaultConfig returns the standard configuration.

@@ -3,6 +3,7 @@ package cms
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"cms/internal/dev"
 	"cms/internal/interp"
@@ -37,6 +38,14 @@ type Engine struct {
 	pipe     *xlate.Pipeline
 	pendq    []pending
 	inflight map[uint32]bool
+
+	// sharedHits/sharedMisses attribute shared-store outcomes to this
+	// engine's translation requests (atomics: pipeline workers count on
+	// their own goroutines). Wall-clock-side observability for the farm's
+	// dedup metrics — deliberately NOT part of Metrics, which must stay
+	// bit-identical with or without a store.
+	sharedHits   atomic.Uint64
+	sharedMisses atomic.Uint64
 }
 
 // ErrBudget reports that Run stopped because the instruction budget was
@@ -189,7 +198,7 @@ func (e *Engine) translateAt(eip uint32) *tcache.Entry {
 	if s.selfCheck {
 		pol.SelfCheck = true
 	}
-	t, err := e.Trans.Translate(eip, pol)
+	t, err := e.backendTranslate(eip, pol)
 	if err != nil {
 		if errors.Is(err, xlate.ErrUntranslatable) {
 			s.interpOnly = true
@@ -207,6 +216,41 @@ func (e *Engine) translateAt(eip uint32) *tcache.Entry {
 	ent.SelfReval = s.wantSelfReval && e.Cfg.EnableSelfReval
 	e.protect(t)
 	return ent
+}
+
+// backendTranslate produces a translation for eip on the synchronous path:
+// directly from the translator, or — when a farm's shared store is
+// configured — through the content-addressed store, installing a per-VM
+// clone of the frozen artifact. Either way the caller charges the same
+// simulated translation cost; the store saves wall-clock work only.
+func (e *Engine) backendTranslate(eip uint32, pol xlate.Policy) (*xlate.Translation, error) {
+	store := e.Cfg.SharedStore
+	if store == nil {
+		return e.Trans.Translate(eip, pol)
+	}
+	req, err := e.Trans.Prepare(eip, pol)
+	if err != nil {
+		return nil, err
+	}
+	art, hit, err := store.Translate(req)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		e.sharedHits.Add(1)
+	} else {
+		e.sharedMisses.Add(1)
+	}
+	e.Trans.Translated++
+	e.Trans.InsnsTranslated += uint64(len(art.Insns))
+	return art.Clone(), nil
+}
+
+// SharedStats reports how many of this engine's translation requests the
+// shared store served without backend work (hits) versus with it (misses).
+// Both are zero without a store. Safe to call while the engine runs.
+func (e *Engine) SharedStats() (hits, misses uint64) {
+	return e.sharedHits.Load(), e.sharedMisses.Load()
 }
 
 // protect write-protects the translation's source pages: fine-grain chunks

@@ -37,9 +37,28 @@ type pending struct {
 	pr    *xlate.PipeRequest
 }
 
-// startPipeline brings the worker pool up for one Run.
+// startPipeline brings the worker pool up for one Run. With a farm's shared
+// store configured, workers translate through the store — lookup or
+// single-flighted backend run — and hand back a per-VM clone of the frozen
+// artifact; the engine-side install flow (due times, stale checks, metric
+// charges) is identical either way, so the store moves wall clock only.
 func (e *Engine) startPipeline() {
-	e.pipe = xlate.NewPipeline(e.Cfg.PipelineWorkers, e.Cfg.PipelineDepth)
+	var do xlate.TranslateFunc
+	if store := e.Cfg.SharedStore; store != nil {
+		do = func(req *xlate.Request) (*xlate.Translation, error) {
+			art, hit, err := store.Translate(req)
+			if err != nil {
+				return nil, err
+			}
+			if hit {
+				e.sharedHits.Add(1)
+			} else {
+				e.sharedMisses.Add(1)
+			}
+			return art.Clone(), nil
+		}
+	}
+	e.pipe = xlate.NewPipeline(e.Cfg.PipelineWorkers, e.Cfg.PipelineDepth, do)
 	e.inflight = make(map[uint32]bool)
 }
 

@@ -1,0 +1,410 @@
+// Package farm is the multi-guest serving subsystem: it runs many
+// independent guest VMs concurrently in one process — goroutine-per-VM
+// behind an admission-controlled queue — over ONE shared content-addressed
+// translation store, so identical hot regions across VMs are translated and
+// compiled once (the way an inference server shares compiled kernels across
+// requests).
+//
+// The determinism contract is the paper's, scaled out: sharing is safe
+// exactly because every translation's assumptions are explicit in its
+// content key (source bytes, trace, policy rung, MMIO bits, host), and
+// install/chaining stays per-VM — each VM's simulated Metrics and final
+// architectural state are bit-identical to a solo run of the same workload
+// (proven by differential test). The store moves wall-clock time only.
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cms/internal/asm"
+	"cms/internal/cms"
+	"cms/internal/dev"
+	"cms/internal/guest"
+	"cms/internal/tcache"
+	"cms/internal/workload"
+)
+
+// Config shapes a Farm. The zero value is normalized to the defaults.
+type Config struct {
+	// MaxVMs is how many guest VMs run concurrently (default 4). Each VM is
+	// one goroutine running one job's engine to completion.
+	MaxVMs int
+	// QueueDepth bounds the admission queue (default 64). Submit fails with
+	// ErrQueueFull beyond it — the backpressure cmsserve turns into HTTP 429.
+	QueueDepth int
+	// StoreCapAtoms bounds the shared translation store (0 = default).
+	StoreCapAtoms int
+	// Engine is the per-VM engine configuration template. Its SharedStore
+	// field is overwritten with the farm's store.
+	Engine cms.Config
+	// DefaultBudget is the guest instruction budget for source jobs and
+	// workload jobs that do not set one (default 100M).
+	DefaultBudget uint64
+}
+
+func (c Config) normalized() Config {
+	if c.MaxVMs <= 0 {
+		c.MaxVMs = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultBudget == 0 {
+		c.DefaultBudget = 100_000_000
+	}
+	return c
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// JobSpec describes one guest VM run: a named suite workload or raw g86
+// assembly source, with an optional instruction budget.
+type JobSpec struct {
+	// Workload names a benchmark from the suite (workload.All).
+	Workload string `json:"workload,omitempty"`
+	// Source is raw g86 assembly, mutually exclusive with Workload.
+	Source string `json:"source,omitempty"`
+	// Budget overrides the guest instruction budget (0 = workload default).
+	Budget uint64 `json:"budget,omitempty"`
+}
+
+// Result is a completed VM's final architectural state and statistics.
+type Result struct {
+	Regs    [guest.NumRegs]uint32 `json:"regs"`
+	EIP     uint32                `json:"eip"`
+	Flags   uint32                `json:"flags"`
+	Halted  bool                  `json:"halted"`
+	Console string                `json:"console,omitempty"`
+
+	// Metrics is the full simulated statistics struct — bit-identical to a
+	// solo run of the same job, shared store or not.
+	Metrics    cms.Metrics  `json:"metrics"`
+	CacheStats tcache.Stats `json:"cache_stats"`
+
+	GuestInsns uint64 `json:"guest_insns"`
+	Mols       uint64 `json:"mols"`
+	// SharedHits/SharedMisses attribute this VM's translation requests to
+	// the shared store (wall-clock observability; not part of Metrics).
+	SharedHits   uint64 `json:"shared_hits"`
+	SharedMisses uint64 `json:"shared_misses"`
+	WallNs       int64  `json:"wall_ns"`
+}
+
+// job is the farm's internal record; JobView is its API snapshot.
+type job struct {
+	id       string
+	spec     JobSpec
+	status   Status
+	errMsg   string
+	result   *Result
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// JobView is an immutable snapshot of a job for callers and the HTTP API.
+type JobView struct {
+	ID     string  `json:"id"`
+	Spec   JobSpec `json:"spec"`
+	Status Status  `json:"status"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// Errors Submit returns; cmsserve maps them to HTTP statuses.
+var (
+	ErrQueueFull = errors.New("farm: admission queue full")
+	ErrDraining  = errors.New("farm: draining, not accepting jobs")
+)
+
+// Farm runs guest VMs over a shared translation store.
+type Farm struct {
+	cfg   Config
+	store *tcache.SharedStore
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []*job
+	closed bool
+	queued int
+	active int
+	done   uint64
+	failed uint64
+	seq    uint64
+
+	// Aggregates over completed jobs (for farm-level /metrics).
+	aggGuest     uint64
+	aggMols      uint64
+	aggXlate     uint64
+	aggRollbacks uint64
+	aggRetrans   uint64
+}
+
+// New starts a farm: MaxVMs runner goroutines over an empty shared store.
+func New(cfg Config) *Farm {
+	cfg = cfg.normalized()
+	f := &Farm{
+		cfg:   cfg,
+		store: tcache.NewShared(cfg.StoreCapAtoms),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+	}
+	f.wg.Add(cfg.MaxVMs)
+	for i := 0; i < cfg.MaxVMs; i++ {
+		go f.runner()
+	}
+	return f
+}
+
+// Store exposes the shared translation store (for stats and tests).
+func (f *Farm) Store() *tcache.SharedStore { return f.store }
+
+// Submit validates and enqueues a job. It never blocks: a full queue is
+// ErrQueueFull, a draining farm is ErrDraining.
+func (f *Farm) Submit(spec JobSpec) (JobView, error) {
+	if (spec.Workload == "") == (spec.Source == "") {
+		return JobView{}, errors.New("farm: spec needs exactly one of workload or source")
+	}
+	if spec.Workload != "" {
+		if _, err := workload.ByName(spec.Workload); err != nil {
+			return JobView{}, err
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return JobView{}, ErrDraining
+	}
+	f.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", f.seq),
+		spec:    spec,
+		status:  StatusQueued,
+		created: time.Now(),
+	}
+	select {
+	case f.queue <- j:
+	default:
+		f.seq--
+		return JobView{}, ErrQueueFull
+	}
+	f.jobs[j.id] = j
+	f.order = append(f.order, j)
+	f.queued++
+	return f.viewLocked(j), nil
+}
+
+// Job returns a snapshot of one job.
+func (f *Farm) Job(id string) (JobView, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return f.viewLocked(j), true
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (f *Farm) Jobs() []JobView {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]JobView, 0, len(f.order))
+	for _, j := range f.order {
+		out = append(out, f.viewLocked(j))
+	}
+	return out
+}
+
+// viewLocked snapshots a job; the Result pointer is shared but immutable
+// once set (runners never mutate a result after publishing it).
+func (f *Farm) viewLocked(j *job) JobView {
+	return JobView{ID: j.id, Spec: j.spec, Status: j.status, Error: j.errMsg, Result: j.result}
+}
+
+// Drain stops admission and waits for every queued and running job to
+// finish — the SIGTERM path of cmsserve. Safe to call more than once.
+func (f *Farm) Drain() {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.queue)
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// Wait blocks until every currently submitted job has finished, without
+// closing admission (tests and the bench harness).
+func (f *Farm) Wait() {
+	for {
+		f.mu.Lock()
+		idle := f.queued == 0 && f.active == 0
+		f.mu.Unlock()
+		if idle {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Stats is a point-in-time snapshot of farm-level counters.
+type Stats struct {
+	VMs       int
+	Active    int
+	Queued    int
+	Done      uint64
+	Failed    uint64
+	Submitted uint64
+
+	Store tcache.SharedStats
+
+	// Aggregates over completed jobs.
+	GuestInsns     uint64
+	Mols           uint64
+	Translations   uint64
+	Rollbacks      uint64 // faults absorbed by rollback + re-interpretation
+	Retranslations uint64 // adaptive retranslation events
+}
+
+// Stats returns the farm's counters.
+func (f *Farm) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Stats{
+		VMs:            f.cfg.MaxVMs,
+		Active:         f.active,
+		Queued:         f.queued,
+		Done:           f.done,
+		Failed:         f.failed,
+		Submitted:      f.seq,
+		Store:          f.store.Stats(),
+		GuestInsns:     f.aggGuest,
+		Mols:           f.aggMols,
+		Translations:   f.aggXlate,
+		Rollbacks:      f.aggRollbacks,
+		Retranslations: f.aggRetrans,
+	}
+}
+
+// runner is one VM slot: it executes queued jobs to completion, one at a
+// time, until the queue closes.
+func (f *Farm) runner() {
+	defer f.wg.Done()
+	for j := range f.queue {
+		f.mu.Lock()
+		f.queued--
+		f.active++
+		j.status = StatusRunning
+		j.started = time.Now()
+		f.mu.Unlock()
+
+		res, err := f.execute(j.spec)
+
+		f.mu.Lock()
+		f.active--
+		j.finished = time.Now()
+		if err != nil {
+			j.status = StatusFailed
+			j.errMsg = err.Error()
+			f.failed++
+		} else {
+			j.status = StatusDone
+			j.result = res
+			f.done++
+			f.aggGuest += res.GuestInsns
+			f.aggMols += res.Mols
+			f.aggXlate += res.Metrics.Translations
+			for _, n := range res.Metrics.Faults {
+				f.aggRollbacks += n
+			}
+			for _, n := range res.Metrics.Adaptations {
+				f.aggRetrans += n
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+// execute runs one VM. Workload jobs are set up exactly like the solo
+// harness (internal/bench.Run) — same platform, same load, same budget — so
+// the differential test can compare farm results against solo runs
+// byte-for-byte.
+func (f *Farm) execute(spec JobSpec) (*Result, error) {
+	var (
+		org, entry uint32
+		data, disk []byte
+		ram        uint32
+		budget     uint64
+		stackTop   uint32
+	)
+	switch {
+	case spec.Workload != "":
+		w, err := workload.ByName(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		img := w.Build()
+		org, data, entry = img.Org, img.Data, img.Entry
+		disk, ram, budget = img.Disk, img.RAM, img.Budget
+	default:
+		prog, err := asm.Assemble(spec.Source)
+		if err != nil {
+			return nil, err
+		}
+		org, data, entry = prog.Org, prog.Image, prog.Entry()
+		ram = 1 << 21
+		budget = f.cfg.DefaultBudget
+		stackTop = ram / 2
+	}
+	if spec.Budget > 0 {
+		budget = spec.Budget
+	}
+
+	cfg := f.cfg.Engine
+	cfg.SharedStore = f.store
+
+	plat := dev.NewPlatform(ram, disk)
+	plat.Bus.WriteRaw(org, data)
+	e := cms.New(plat, entry, cfg)
+	if stackTop != 0 {
+		e.CPU().Regs[guest.ESP] = stackTop
+	}
+
+	t0 := time.Now()
+	runErr := e.Run(budget)
+	wall := time.Since(t0).Nanoseconds()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	cpu := e.CPU()
+	hits, misses := e.SharedStats()
+	return &Result{
+		Regs:         cpu.Regs,
+		EIP:          cpu.EIP,
+		Flags:        cpu.Flags,
+		Halted:       cpu.Halted,
+		Console:      plat.Console.OutputString(),
+		Metrics:      e.Metrics,
+		CacheStats:   e.Cache.Stats,
+		GuestInsns:   e.Metrics.GuestTotal(),
+		Mols:         e.Metrics.TotalMols(),
+		SharedHits:   hits,
+		SharedMisses: misses,
+		WallNs:       wall,
+	}, nil
+}

@@ -1,0 +1,82 @@
+package farm
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders the farm's counters in Prometheus text exposition
+// format (hand-rolled; the repo is stdlib-only). Gauges describe the current
+// farm shape, counters accumulate over completed jobs, and the per-job
+// series expose each VM's shared-store attribution — that is where the
+// "second VM of an identical workload hits >90%" claim is visible.
+func WriteMetrics(w io.Writer, f *Farm) {
+	st := f.Stats()
+
+	gauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("cms_farm_vms", "Configured concurrent VM slots.", st.VMs)
+	gauge("cms_farm_vms_active", "VMs currently executing a job.", st.Active)
+	gauge("cms_farm_jobs_queued", "Jobs admitted but not yet running.", st.Queued)
+	counter("cms_farm_jobs_done_total", "Jobs completed successfully.", st.Done)
+	counter("cms_farm_jobs_failed_total", "Jobs that ended in an error.", st.Failed)
+	counter("cms_farm_jobs_submitted_total", "Jobs admitted since start.", st.Submitted)
+
+	counter("cms_farm_store_hits_total", "Shared-store lookups served from an installed artifact.", st.Store.Hits)
+	counter("cms_farm_store_waits_total", "Shared-store lookups that joined an in-flight translation.", st.Store.Waits)
+	counter("cms_farm_store_misses_total", "Shared-store lookups that ran the translator.", st.Store.Misses)
+	counter("cms_farm_store_evictions_total", "Artifacts evicted from the shared store.", st.Store.Evictions)
+	gauge("cms_farm_store_entries", "Artifacts resident in the shared store.", st.Store.Entries)
+	gauge("cms_farm_store_atoms", "Code atoms resident in the shared store.", st.Store.Atoms)
+	gauge("cms_farm_store_dedup_ratio", "Fraction of translation requests deduplicated (hits+waits over all).", st.Store.DedupRatio())
+
+	counter("cms_farm_guest_insns_total", "Guest instructions retired across completed jobs.", st.GuestInsns)
+	counter("cms_farm_mols_total", "Simulated molecules across completed jobs.", st.Mols)
+	counter("cms_farm_translations_total", "Translations installed across completed jobs.", st.Translations)
+	counter("cms_farm_rollbacks_total", "Faults absorbed by rollback and re-interpretation across completed jobs.", st.Rollbacks)
+	counter("cms_farm_retranslations_total", "Adaptive retranslation events across completed jobs.", st.Retranslations)
+
+	// Per-job series, labeled by job id and workload.
+	jobs := f.Jobs()
+	fmt.Fprintf(w, "# HELP cms_farm_job_store_hits_total Shared-store hits attributed to one VM.\n# TYPE cms_farm_job_store_hits_total counter\n")
+	for _, j := range jobs {
+		if j.Result != nil {
+			fmt.Fprintf(w, "cms_farm_job_store_hits_total{job=%q,workload=%q} %d\n",
+				j.ID, j.Spec.Workload, j.Result.SharedHits)
+		}
+	}
+	fmt.Fprintf(w, "# HELP cms_farm_job_store_misses_total Shared-store misses attributed to one VM.\n# TYPE cms_farm_job_store_misses_total counter\n")
+	for _, j := range jobs {
+		if j.Result != nil {
+			fmt.Fprintf(w, "cms_farm_job_store_misses_total{job=%q,workload=%q} %d\n",
+				j.ID, j.Spec.Workload, j.Result.SharedMisses)
+		}
+	}
+	fmt.Fprintf(w, "# HELP cms_farm_job_rollbacks_total Faults absorbed by rollback in one VM.\n# TYPE cms_farm_job_rollbacks_total counter\n")
+	for _, j := range jobs {
+		if j.Result == nil {
+			continue
+		}
+		var rb uint64
+		for _, n := range j.Result.Metrics.Faults {
+			rb += n
+		}
+		fmt.Fprintf(w, "cms_farm_job_rollbacks_total{job=%q,workload=%q} %d\n", j.ID, j.Spec.Workload, rb)
+	}
+	fmt.Fprintf(w, "# HELP cms_farm_job_retranslations_total Adaptive retranslations in one VM.\n# TYPE cms_farm_job_retranslations_total counter\n")
+	for _, j := range jobs {
+		if j.Result == nil {
+			continue
+		}
+		var rt uint64
+		for _, n := range j.Result.Metrics.Adaptations {
+			rt += n
+		}
+		fmt.Fprintf(w, "cms_farm_job_retranslations_total{job=%q,workload=%q} %d\n", j.ID, j.Spec.Workload, rt)
+	}
+}

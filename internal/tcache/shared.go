@@ -1,0 +1,167 @@
+package tcache
+
+import (
+	"container/list"
+	"sync"
+
+	"cms/internal/xlate"
+)
+
+// SharedStore is the farm-wide content-addressed translation store: the
+// memoization table that lets N independent guest VMs share translation and
+// compilation work. Entries are keyed by xlate.Key — the content hash of a
+// frozen request (source bytes, trace, policy rung, MMIO bits, host) — so
+// identical hot regions across VMs translate once, the way an inference
+// server shares compiled kernels across requests.
+//
+// Safety model (docs/SERVING.md): stored artifacts are frozen. They are
+// never installed into a VM's translation cache directly — every install
+// clones (xlate.Translation.Clone), so per-VM mutable state (prologue memo,
+// compiled-code teardown) never touches the shared object, and the compiled
+// closures themselves are VM-state-free (they take the executing Machine as
+// a parameter). The store affects only wall-clock time: on a hit the VM is
+// handed the byte-identical translation it would have produced itself, and
+// it charges the same simulated translation cost either way, so per-VM
+// Metrics and final guest state are bit-identical to a solo run.
+//
+// Concurrent misses on the same key are single-flighted: the first VM
+// translates, later VMs wait for its result rather than duplicating the
+// work. Capacity is bounded in atoms; insertion evicts least-recently-used
+// entries (a wall-clock-only decision — an evicted region simply translates
+// again on its next miss).
+type SharedStore struct {
+	mu       sync.Mutex
+	entries  map[xlate.Key]*sharedEntry
+	lru      *list.List // front = most recently used; values are *sharedEntry
+	inflight map[xlate.Key]*flight
+
+	// CapAtoms bounds the total stored code size (0 = DefaultSharedCapAtoms).
+	capAtoms int
+	curAtoms int
+
+	stats SharedStats
+}
+
+// DefaultSharedCapAtoms is the default shared-store budget: a few VM-caches
+// worth of code, since the store backs many VMs at once.
+const DefaultSharedCapAtoms = 4 << 20
+
+type sharedEntry struct {
+	key   xlate.Key
+	t     *xlate.Translation
+	atoms int
+	elem  *list.Element
+	hits  uint64
+}
+
+// flight is one in-progress translation; later requesters for the same key
+// block on done instead of re-translating.
+type flight struct {
+	done chan struct{}
+	t    *xlate.Translation
+	err  error
+}
+
+// SharedStats counts store events. Hits are immediate cache hits; Waits are
+// requests that piggybacked on another VM's in-flight translation (dedup
+// hits too, but the requester paid the wall-clock wait); Misses ran the
+// backend.
+type SharedStats struct {
+	Hits      uint64
+	Waits     uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Atoms     int
+}
+
+// DedupRatio returns the fraction of requests served without running the
+// backend (hits + waits over all requests).
+func (s SharedStats) DedupRatio() float64 {
+	total := s.Hits + s.Waits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Waits) / float64(total)
+}
+
+// NewShared returns an empty shared store (capAtoms 0 = default).
+func NewShared(capAtoms int) *SharedStore {
+	if capAtoms <= 0 {
+		capAtoms = DefaultSharedCapAtoms
+	}
+	return &SharedStore{
+		entries:  make(map[xlate.Key]*sharedEntry),
+		lru:      list.New(),
+		inflight: make(map[xlate.Key]*flight),
+		capAtoms: capAtoms,
+	}
+}
+
+// Translate returns the translation for the frozen request, running the
+// backend at most once per content key across all callers. hit reports
+// whether the backend was skipped (cached or piggybacked on another VM's
+// in-flight run). Errors are returned to every waiter and never cached —
+// the next requester retries.
+func (s *SharedStore) Translate(req *xlate.Request) (t *xlate.Translation, hit bool, err error) {
+	key := req.Key()
+	s.mu.Lock()
+	if e := s.entries[key]; e != nil {
+		e.hits++
+		s.stats.Hits++
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		return e.t, true, nil
+	}
+	if f := s.inflight[key]; f != nil {
+		s.stats.Waits++
+		s.mu.Unlock()
+		<-f.done
+		return f.t, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	f.t, f.err = req.Translate()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil {
+		s.insert(key, f.t)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.t, false, f.err
+}
+
+// insert stores an artifact under key, evicting LRU entries to fit. Called
+// with s.mu held.
+func (s *SharedStore) insert(key xlate.Key, t *xlate.Translation) {
+	if s.entries[key] != nil {
+		return // a concurrent producer won the race; keep its artifact
+	}
+	atoms := t.CodeAtoms()
+	for s.curAtoms+atoms > s.capAtoms && s.lru.Len() > 0 {
+		victim := s.lru.Back().Value.(*sharedEntry)
+		s.lru.Remove(victim.elem)
+		delete(s.entries, victim.key)
+		s.curAtoms -= victim.atoms
+		s.stats.Evictions++
+	}
+	e := &sharedEntry{key: key, t: t, atoms: atoms}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	s.curAtoms += atoms
+}
+
+// Stats returns a snapshot of the store's counters and current size.
+func (s *SharedStore) Stats() SharedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Atoms = s.curAtoms
+	return st
+}

@@ -1,0 +1,149 @@
+package tcache
+
+import (
+	"sync"
+	"testing"
+
+	"cms/internal/asm"
+	"cms/internal/interp"
+	"cms/internal/mem"
+	"cms/internal/xlate"
+)
+
+// sharedReq freezes a translation request for a small hot loop, with a
+// distinguishing immediate so different programs hash differently.
+func sharedReq(t *testing.T, imm int) *xlate.Request {
+	t.Helper()
+	prog, err := asm.Assemble(`
+.org 0x1000
+_start:
+	mov ecx, ` + itoa(imm) + `
+loop:
+	add eax, ecx
+	dec ecx
+	jne loop
+	hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := mem.NewBus(1 << 20)
+	bus.WriteRaw(prog.Org, prog.Image)
+	tr := &xlate.Translator{Bus: bus, Prof: interp.NewProfile(), CompileBackend: true}
+	req, err := tr.Prepare(prog.Entry(), xlate.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestSharedStoreDedup(t *testing.T) {
+	s := NewShared(0)
+	t1, hit, err := s.Translate(sharedReq(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first request must miss")
+	}
+	t2, hit, err := s.Translate(sharedReq(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("identical request from a second VM must hit")
+	}
+	if t2 != t1 {
+		t.Error("hit must return the stored artifact")
+	}
+	if _, hit, _ := s.Translate(sharedReq(t, 11)); hit {
+		t.Error("different source bytes must miss")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses / 2 entries", st)
+	}
+}
+
+// TestSharedStoreSingleFlight hammers one key from many goroutines and
+// asserts every caller gets the same artifact while the backend ran at most
+// a handful of times (no thundering herd). Run under -race this is also the
+// store's concurrency-safety test.
+func TestSharedStoreSingleFlight(t *testing.T) {
+	s := NewShared(0)
+	const n = 16
+	results := make([]*xlate.Translation, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tl, _, err := s.Translate(sharedReq(t, 7))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = tl
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatal("callers observed different artifacts for one key")
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Errorf("backend ran %d times for one key, want 1 (waits %d, hits %d)",
+			st.Misses, st.Waits, st.Hits)
+	}
+	if st.Hits+st.Waits != n-1 {
+		t.Errorf("hits %d + waits %d, want %d", st.Hits, st.Waits, n-1)
+	}
+}
+
+func TestSharedStoreEviction(t *testing.T) {
+	first, _, err := NewShared(0).Translate(sharedReq(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for roughly two artifacts: inserting a third evicts the LRU.
+	s := NewShared(2*first.CodeAtoms() + first.CodeAtoms()/2)
+	for imm := 1; imm <= 3; imm++ {
+		if _, _, err := s.Translate(sharedReq(t, imm)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions under a two-artifact budget: %+v", st)
+	}
+	if st.Atoms > 2*first.CodeAtoms()+first.CodeAtoms()/2 {
+		t.Errorf("store over budget: %d atoms", st.Atoms)
+	}
+	// imm=1 was evicted (LRU): re-requesting it must miss and re-translate.
+	if _, hit, _ := s.Translate(sharedReq(t, 1)); hit {
+		t.Error("evicted entry must miss")
+	}
+}
+
+func TestSharedStoreDedupRatio(t *testing.T) {
+	if r := (SharedStats{}).DedupRatio(); r != 0 {
+		t.Errorf("empty ratio = %v", r)
+	}
+	if r := (SharedStats{Hits: 9, Misses: 1}).DedupRatio(); r != 0.9 {
+		t.Errorf("ratio = %v, want 0.9", r)
+	}
+}

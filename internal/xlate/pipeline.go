@@ -15,6 +15,7 @@ import "sync"
 // worker count.
 type Pipeline struct {
 	submit chan *PipeRequest
+	do     TranslateFunc
 	wg     sync.WaitGroup
 }
 
@@ -29,17 +30,29 @@ type pipeResult struct {
 	err error
 }
 
+// TranslateFunc runs the translation backend for one frozen request. The
+// default is Request.Translate; a farm substitutes a content-addressed
+// shared store's lookup-or-translate so identical regions across VMs are
+// translated once. Any substitute must remain a pure function of the
+// request's content (equal keys → byte-identical translations), or the
+// engine's determinism contract breaks.
+type TranslateFunc func(*Request) (*Translation, error)
+
 // NewPipeline starts a pool of workers with a submit queue of the given
 // depth. The queue never applies backpressure to the engine: the engine
 // bounds its in-flight count to depth itself, so sends always find space.
-func NewPipeline(workers, depth int) *Pipeline {
+// A nil do means Request.Translate.
+func NewPipeline(workers, depth int, do TranslateFunc) *Pipeline {
 	if workers < 1 {
 		workers = 1
 	}
 	if depth < 1 {
 		depth = 1
 	}
-	p := &Pipeline{submit: make(chan *PipeRequest, depth)}
+	if do == nil {
+		do = func(req *Request) (*Translation, error) { return req.Translate() }
+	}
+	p := &Pipeline{submit: make(chan *PipeRequest, depth), do: do}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -50,7 +63,7 @@ func NewPipeline(workers, depth int) *Pipeline {
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
 	for pr := range p.submit {
-		t, err := pr.Req.Translate()
+		t, err := p.do(pr.Req)
 		pr.res <- pipeResult{t: t, err: err}
 	}
 }

@@ -44,6 +44,22 @@ type Translation struct {
 // GuestLen returns the number of guest instructions covered.
 func (t *Translation) GuestLen() int { return len(t.Insns) }
 
+// Clone returns a per-VM installable view of a shared translation artifact.
+// The immutable build products — scheduled code, compiled closures (which
+// take the executing Machine as a parameter and hold no VM state), the
+// instruction list, exits, source ranges, snapshot, and mask — are shared;
+// the mutable install-side state is not: the clone builds its own prologue
+// lazily, and cache teardown (which nils Compiled on in-place replacement)
+// touches only the clone. A shared-store artifact is therefore frozen
+// forever: it is cloned at every install and never installed itself.
+func (t *Translation) Clone() *Translation {
+	c := *t
+	c.prologue = nil
+	c.prologuePass = 0
+	c.prologueFail = 0
+	return &c
+}
+
 // CodeAtoms returns the static code size in atoms.
 func (t *Translation) CodeAtoms() int { return t.Code.NumAtoms() }
 

@@ -23,6 +23,35 @@ go test -race ./...
 # away or skipped.
 go test -race -run 'TestBackendDifferential' -count=1 ./internal/bench/
 
+# The farm differential test is the serving subsystem's correctness
+# contract (solo and in-farm runs byte-identical over the shared store);
+# run the package by name, under -race, so cross-VM sharing bugs fail here.
+go test -race -count=1 ./internal/farm/...
+
+# cmsserve smoke: start the daemon, drive one workload job over HTTP with
+# the servesmoke client, then SIGTERM and require a clean drain (exit 0).
+smokedir="${TMPDIR:-/tmp}/cms-serve-smoke"
+mkdir -p "$smokedir"
+go build -o "$smokedir/cmsserve" ./cmd/cmsserve
+"$smokedir/cmsserve" -addr 127.0.0.1:18086 -vms 2 >"$smokedir/log" 2>&1 &
+serve_pid=$!
+smoke_ok=0
+if go run ./scripts/servesmoke -addr http://127.0.0.1:18086; then
+	smoke_ok=1
+fi
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+	echo "check.sh: cmsserve did not drain cleanly on SIGTERM" >&2
+	cat "$smokedir/log" >&2
+	exit 1
+fi
+if [ "$smoke_ok" != 1 ]; then
+	echo "check.sh: cmsserve smoke failed" >&2
+	cat "$smokedir/log" >&2
+	exit 1
+fi
+echo "check.sh: cmsserve smoke ok"
+
 # Build and smoke-run every example program: the examples exercise the
 # public facade end to end, including the compiled hot path.
 mkdir -p "${TMPDIR:-/tmp}/cms-examples"

@@ -1,0 +1,112 @@
+// Command servesmoke is the check.sh client for the cmsserve smoke test:
+// it submits one workload job over HTTP, polls until the job completes,
+// and asserts the metrics endpoint saw it. Exit 0 on success, 1 with a
+// message otherwise. Stdlib only, like everything else in the repo.
+//
+// Usage: servesmoke -addr http://127.0.0.1:8086 [-workload eqntott]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8086", "cmsserve base URL")
+	wl := flag.String("workload", "eqntott", "workload to submit")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline")
+	flag.Parse()
+
+	if err := smoke(*addr, *wl, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: ok")
+}
+
+func smoke(addr, wl string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+
+	// The server may still be binding its listener; retry the health check.
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	body, _ := json.Marshal(map[string]string{"workload": wl})
+	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("submit: %d: %s", resp.StatusCode, raw)
+	}
+	var view struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Error  string `json:"error"`
+		Result *struct {
+			Halted bool `json:"halted"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return err
+	}
+
+	for {
+		r, err := http.Get(addr + "/v1/jobs/" + view.ID)
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(r.Body).Decode(&view)
+		r.Body.Close()
+		if err != nil {
+			return err
+		}
+		if view.Status == "done" {
+			break
+		}
+		if view.Status == "failed" {
+			return fmt.Errorf("job failed: %s", view.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s stuck in %s", view.ID, view.Status)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if view.Result == nil || !view.Result.Halted {
+		return fmt.Errorf("job done but guest did not halt cleanly")
+	}
+
+	m, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer m.Body.Close()
+	raw, err := io.ReadAll(m.Body)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(raw), "cms_farm_jobs_done_total 1") {
+		return fmt.Errorf("/metrics does not show the completed job")
+	}
+	return nil
+}
