@@ -1,36 +1,39 @@
 package bench
 
 import (
-	"bytes"
-	"reflect"
 	"testing"
 
 	"cms/internal/cms"
 	"cms/internal/dev"
+	"cms/internal/fuzzer"
 	"cms/internal/workload"
 )
 
-// backendRun executes one workload to completion under cfg and returns the
-// engine plus the final guest memory image.
-func backendRun(t *testing.T, w workload.Workload, cfg cms.Config) (*cms.Engine, []byte) {
+// backendRun executes one workload to completion under cfg and captures the
+// outcome with the differential oracle's shared State snapshot, so this
+// test, the farm differential, and the generative fuzzer all compare the
+// exact same observables the exact same way.
+func backendRun(t *testing.T, w workload.Workload, name string, cfg cms.Config) *fuzzer.State {
 	t.Helper()
 	img := w.Build()
 	plat := dev.NewPlatform(img.RAM, img.Disk)
 	plat.Bus.WriteRaw(img.Org, img.Data)
 	e := cms.New(plat, img.Entry, cfg)
-	if err := e.Run(img.Budget); err != nil {
-		t.Fatalf("%s: %v", w.Name, err)
+	st := fuzzer.Capture(name, e, plat, e.Run(img.Budget))
+	if st.Err != "" {
+		t.Fatalf("%s (%s): %s", w.Name, name, st.Err)
 	}
-	if !e.CPU().Halted {
-		t.Fatalf("%s did not halt", w.Name)
+	if !st.Halted {
+		t.Fatalf("%s (%s) did not halt", w.Name, name)
 	}
-	return e, plat.Bus.ReadRaw(0, int(img.RAM))
+	return st
 }
 
 // diffBackends runs w under cfg with the compiled backend off and on, and
 // asserts the two runs are observationally identical: same final CPU, same
-// guest memory, same simulated Metrics, same cache statistics. This is the
-// deopt contract of the closure-threaded backend — only wall clock may move.
+// guest memory and device output, same simulated Metrics, same cache
+// statistics. This is the deopt contract of the closure-threaded backend —
+// only wall clock may move.
 func diffBackends(t *testing.T, w workload.Workload, cfg cms.Config) {
 	t.Helper()
 	ci := cfg
@@ -38,31 +41,14 @@ func diffBackends(t *testing.T, w workload.Workload, cfg cms.Config) {
 	cc := cfg
 	cc.EnableCompiledBackend = true
 
-	ei, memi := backendRun(t, w, ci)
-	ec, memc := backendRun(t, w, cc)
+	si := backendRun(t, w, "interp-backend", ci)
+	sc := backendRun(t, w, "compiled-backend", cc)
 
-	cpui, cpuc := ei.CPU(), ec.CPU()
-	if cpui.Regs != cpuc.Regs || cpui.EIP != cpuc.EIP ||
-		cpui.Flags != cpuc.Flags || cpui.Halted != cpuc.Halted {
-		t.Errorf("%s: final CPU state diverged:\ninterp   %+v\ncompiled %+v",
-			w.Name, *cpui, *cpuc)
+	if d := fuzzer.DiffArch(si, sc); d != "" {
+		t.Errorf("%s: architectural state diverged: %s", w.Name, d)
 	}
-	if !reflect.DeepEqual(ei.Metrics, ec.Metrics) {
-		t.Errorf("%s: Metrics diverged:\ninterp   %+v\ncompiled %+v",
-			w.Name, ei.Metrics, ec.Metrics)
-	}
-	if ei.Cache.Stats != ec.Cache.Stats {
-		t.Errorf("%s: cache stats diverged:\ninterp   %+v\ncompiled %+v",
-			w.Name, ei.Cache.Stats, ec.Cache.Stats)
-	}
-	if !bytes.Equal(memi, memc) {
-		for i := range memi {
-			if memi[i] != memc[i] {
-				t.Errorf("%s: guest memory diverged at %#x: interp %#x, compiled %#x",
-					w.Name, i, memi[i], memc[i])
-				break
-			}
-		}
+	if d := fuzzer.DiffMetrics(si, sc); d != "" {
+		t.Errorf("%s: %s", w.Name, d)
 	}
 }
 

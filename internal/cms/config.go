@@ -105,6 +105,12 @@ type Config struct {
 	// same simulated translation cost on a store hit as on a miss, so
 	// Metrics and final guest state are bit-identical to a solo run.
 	SharedStore *tcache.SharedStore
+
+	// Injector, when non-nil, is consulted at every translated-execution
+	// commit boundary to force recovery events (rollback, alias fault,
+	// eviction) for fault-injection testing; see hooks.go. Injection must
+	// not change final guest state — only Metrics and wall clock.
+	Injector Injector
 }
 
 // DefaultConfig returns the standard configuration.

@@ -273,6 +273,9 @@ func (e *Engine) runTranslated(ent *tcache.Entry) {
 	e.Machine.LoadGuest(&cpu.Regs, cpu.Flags, cpu.EIP)
 	cur := ent
 	for {
+		if e.Cfg.Injector != nil && e.injectAt(cur) {
+			return
+		}
 		if cur.Armed {
 			switch e.runPrologue(cur) {
 			case prologueErr, prologueIRQ:
@@ -402,6 +405,41 @@ func (e *Engine) runTranslated(ent *tcache.Entry) {
 		e.Machine.CommittedEIP = target
 		cur = next
 	}
+}
+
+// injectAt consults the configured fault injector at a commit boundary and,
+// when an action fires, routes it through the engine's real recovery paths.
+// It reports whether control must return to the dispatcher. The machine holds
+// the committed state (nothing speculative is in flight at a boundary), so
+// storing it back is always safe.
+func (e *Engine) injectAt(cur *tcache.Entry) bool {
+	cpu := &e.Interp.CPU
+	switch e.Cfg.Injector.TexecBoundary(cur.T.Entry, e.Metrics.GuestTotal()) {
+	case InjectRollback:
+		e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+		cpu.EIP = e.Machine.CommittedEIP
+		e.Metrics.Faults[vliw.FIRQ]++
+		cur.FaultCounts[vliw.FIRQ]++
+		e.traceFault(EvFault, cur.T.Entry, vliw.FIRQ)
+		e.handleFault(cur, vliw.Outcome{Fault: vliw.FIRQ, Exit: -1, GIdx: -1})
+		return true
+	case InjectAliasFault:
+		e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+		cpu.EIP = e.Machine.CommittedEIP
+		e.Metrics.Faults[vliw.FAlias]++
+		cur.FaultCounts[vliw.FAlias]++
+		e.traceFault(EvFault, cur.T.Entry, vliw.FAlias)
+		e.handleFault(cur, vliw.Outcome{Fault: vliw.FAlias, Exit: -1, GIdx: 0})
+		return true
+	case InjectEvict:
+		e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+		cpu.EIP = e.Machine.CommittedEIP
+		e.trace(EvInvalidate, cur.T.Entry, "injected eviction")
+		e.Cache.Invalidate(cur)
+		e.reconcileProtection(cur)
+		return true
+	}
+	return false
 }
 
 // prologueOutcome is the result of running a self-revalidation prologue.

@@ -1,0 +1,44 @@
+package cms
+
+// Fault-injection hooks. The paper's recovery machinery is exercised in
+// production only when the guest happens to trip it; the hooks below let a
+// test harness (internal/fuzzer) force each recovery path at chosen commit
+// boundaries, deterministically and replayably from a seed. The injected
+// events ride the engine's REAL recovery code — a forced rollback takes the
+// same path as a pending-interrupt rollback, a forced alias fault the same
+// path as an alias-hardware trap — so injection changes *when* recovery runs,
+// never *what* it does. Final guest state must therefore be identical with
+// and without injection (the fuzzer's oracle asserts exactly that); only the
+// simulated Metrics move, since recovery work is charged where it happens.
+
+// InjectAction selects what, if anything, to force at one commit boundary.
+type InjectAction uint8
+
+const (
+	// InjectNone: execute normally.
+	InjectNone InjectAction = iota
+	// InjectRollback abandons the translation at the committed boundary and
+	// takes one interpreter step — the spurious-wakeup form of the §3.3
+	// interrupt rollback (if an interrupt really is pending it is delivered;
+	// otherwise one instruction is interpreted and dispatch resumes).
+	InjectRollback
+	// InjectAliasFault synthesizes an alias-hardware fault (§3.1) before the
+	// translation body runs: the region is re-interpreted and the adaptive
+	// retranslation ladder advances exactly as for a genuine alias trap.
+	InjectAliasFault
+	// InjectEvict invalidates the translation at the committed boundary —
+	// forced translation-cache eviction mid-chain. The next dispatch
+	// retranslates (or re-interprets) from the same boundary.
+	InjectEvict
+)
+
+// Injector is consulted by the engine at every translated-execution commit
+// boundary: before the first translation of a dispatch and again at every
+// chain transfer. Implementations must be deterministic functions of their
+// own state and the arguments (the fuzzer derives periodic schedules from a
+// seed). Called only from the engine's goroutine.
+type Injector interface {
+	// TexecBoundary is offered the translation entry about to execute and
+	// the retired guest-instruction count at this boundary.
+	TexecBoundary(entry uint32, guestRetired uint64) InjectAction
+}

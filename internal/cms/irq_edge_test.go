@@ -1,0 +1,200 @@
+package cms
+
+import (
+	"testing"
+
+	"cms/internal/asm"
+	"cms/internal/dev"
+	"cms/internal/guest"
+	"cms/internal/vliw"
+)
+
+// Interrupt-delivery edge cases: asynchronous IRQs arriving exactly when
+// the engine is doing something delicate — rolling a translation back,
+// re-interpreting a region after a fault, or tearing down a translation a
+// guest store just invalidated. In every case the architectural registers,
+// flags, and console must match a pure-interpretation run: deliveries may
+// land at different instruction boundaries (that is architecturally
+// legal), but they must never corrupt guest state.
+//
+// Final memory is NOT compared here: the tick counter genuinely differs
+// with delivery timing. The generative fuzzer (internal/fuzzer) owns the
+// byte-identical-memory guarantee via its interrupt-quiescent programs.
+
+const (
+	edgeTick = 0x8000 // tick counter cell
+	edgeTog  = 0x8010 // SMC toggle cell
+)
+
+// irqEdgeProgram builds a timer-pressured kernel: a transparent tick
+// handler on the timer vector, the interval timer running across a hot
+// loop, timer off, halt. With smc set, the hot loop's first instruction is
+// rewritten between ADD and SUB by a byte store on every outer iteration —
+// SMC teardown racing delivery.
+func irqEdgeProgram(smc bool) *asm.Builder {
+	eax, ebx, ecx, edx, esi, edi, ebp := guest.EAX, guest.EBX, guest.ECX, guest.EDX, guest.ESI, guest.EDI, guest.EBP
+	b := asm.NewBuilder(0x1000)
+	b.Jmp("main")
+
+	b.Label("tick")
+	b.Push(eax)
+	b.MovRM(eax, asm.Abs(edgeTick))
+	b.Inc(eax)
+	b.MovMR(asm.Abs(edgeTick), eax)
+	b.Pop(eax)
+	b.Iret()
+
+	b.Label("main")
+	b.MovRILabel(eax, "tick")
+	b.MovMR(asm.Abs(guest.IVTBase+4*guest.VecIRQBase), eax)
+	b.MovRI(eax, 13)
+	b.Out(dev.TimerPeriodPort, eax)
+
+	b.MovRI(eax, 0)
+	b.MovRI(esi, 3)
+	if !smc {
+		b.MovRI(ecx, 4000)
+		b.Label("loop")
+		b.AddRR(eax, esi)
+		b.XorRR(edx, eax)
+		b.Dec(ecx)
+		b.Jcc(guest.CondNE, "loop")
+	} else {
+		b.MovRI(edi, 60)
+		b.Label("outer")
+		// Flip the toggle and rewrite the opcode at "site":
+		// 0x20 + 4*toggle is OpADDrr or OpSUBrr (same length).
+		b.MovRM(ebx, asm.Abs(edgeTog))
+		b.AluRI("xor", ebx, 1)
+		b.MovMR(asm.Abs(edgeTog), ebx)
+		b.MovRR(edx, ebx)
+		b.ShlRI(edx, 2)
+		b.AddRI(edx, uint32(guest.OpADDrr))
+		b.MovRILabel(ebp, "site")
+		b.MovBMR(asm.Mem(ebp), edx)
+		b.MovRI(ecx, 200)
+		b.Label("inner")
+		b.Label("site")
+		b.AddRR(eax, esi) // patched to sub on every other outer iteration
+		b.Dec(ecx)
+		b.Jcc(guest.CondNE, "inner")
+		b.Dec(edi)
+		b.Jcc(guest.CondNE, "outer")
+	}
+
+	b.MovRI(ebx, 0)
+	b.Out(dev.TimerPeriodPort, ebx)
+	b.Hlt()
+	return b
+}
+
+// edgeRun assembles and runs the program under cfg.
+func edgeRun(t *testing.T, b *asm.Builder, cfg Config) *Engine {
+	t.Helper()
+	plat := dev.NewPlatform(1<<21, nil)
+	plat.Bus.WriteRaw(b.Origin(), b.MustAssemble())
+	e := New(plat, b.Origin(), cfg)
+	e.CPU().Regs[guest.ESP] = 0x100000
+	runToHalt(t, e, 10_000_000)
+	return e
+}
+
+// edgeCompare asserts registers, flags, and console match the reference.
+func edgeCompare(t *testing.T, e, ref *Engine) {
+	t.Helper()
+	for r := guest.Reg(0); r < guest.NumRegs; r++ {
+		if e.CPU().Regs[r] != ref.CPU().Regs[r] {
+			t.Errorf("%s = %#x, reference %#x", r, e.CPU().Regs[r], ref.CPU().Regs[r])
+		}
+	}
+	if e.CPU().Flags != ref.CPU().Flags {
+		t.Errorf("flags = %#x, reference %#x", e.CPU().Flags, ref.CPU().Flags)
+	}
+	if got, want := e.Plat.Console.OutputString(), ref.Plat.Console.OutputString(); got != want {
+		t.Errorf("console = %q, reference %q", got, want)
+	}
+}
+
+// periodicInjector forces one action every period-th commit boundary.
+type periodicInjector struct {
+	period uint64
+	action InjectAction
+	n      uint64
+	fired  int
+}
+
+func (p *periodicInjector) TexecBoundary(entry uint32, retired uint64) InjectAction {
+	p.n++
+	if p.n%p.period != 0 {
+		return InjectNone
+	}
+	p.fired++
+	return p.action
+}
+
+// TestIRQPendingAtRollbackBoundary forces spurious §3.3 rollbacks at commit
+// boundaries while timer interrupts are in flight: pending IRQs must be
+// delivered through the rollback path without disturbing guest state.
+func TestIRQPendingAtRollbackBoundary(t *testing.T) {
+	inj := &periodicInjector{period: 5, action: InjectRollback}
+	cfg := DefaultConfig()
+	cfg.Injector = inj
+	e := edgeRun(t, irqEdgeProgram(false), cfg)
+	ref := edgeRun(t, irqEdgeProgram(false), Config{NoTranslate: true})
+	edgeCompare(t, e, ref)
+
+	if inj.fired == 0 {
+		t.Fatal("injector never fired: program never ran translated")
+	}
+	if e.Metrics.Faults[vliw.FIRQ] == 0 {
+		t.Error("no FIRQ rollbacks recorded")
+	}
+	if e.Metrics.Interrupts == 0 || ref.Metrics.Interrupts == 0 {
+		t.Errorf("timer never delivered (engine %d, reference %d)",
+			e.Metrics.Interrupts, ref.Metrics.Interrupts)
+	}
+}
+
+// TestIRQDuringInterpreterFallback forces synthesized alias faults so the
+// engine keeps dropping into its re-interpretation fallback with timer
+// interrupts pending: deliveries inside interpretRegion must be as
+// transparent as deliveries anywhere else, even as the alias adapt ladder
+// retranslates the region underneath.
+func TestIRQDuringInterpreterFallback(t *testing.T) {
+	inj := &periodicInjector{period: 7, action: InjectAliasFault}
+	cfg := DefaultConfig()
+	cfg.Injector = inj
+	e := edgeRun(t, irqEdgeProgram(false), cfg)
+	ref := edgeRun(t, irqEdgeProgram(false), Config{NoTranslate: true})
+	edgeCompare(t, e, ref)
+
+	if inj.fired == 0 {
+		t.Fatal("injector never fired")
+	}
+	if e.Metrics.Faults[vliw.FAlias] == 0 {
+		t.Error("no alias faults recorded")
+	}
+	if e.Metrics.Interrupts == 0 {
+		t.Error("timer never delivered during fallback run")
+	}
+}
+
+// TestIRQRacingSMCTeardown runs hostile SMC — the hot loop body rewritten
+// every outer iteration — under timer pressure: protection faults,
+// invalidation/teardown, retranslation, and asynchronous delivery all
+// interleave, and the guest must not be able to tell.
+func TestIRQRacingSMCTeardown(t *testing.T) {
+	e := edgeRun(t, irqEdgeProgram(true), DefaultConfig())
+	ref := edgeRun(t, irqEdgeProgram(true), Config{NoTranslate: true})
+	edgeCompare(t, e, ref)
+
+	if e.Metrics.Translations == 0 {
+		t.Fatal("SMC loop never translated")
+	}
+	if e.Metrics.ProtFaults == 0 {
+		t.Error("no protection faults: SMC writes never hit live translations")
+	}
+	if e.Metrics.Interrupts == 0 {
+		t.Error("timer never delivered")
+	}
+}

@@ -1,11 +1,11 @@
 package farm
 
 import (
-	"reflect"
 	"testing"
 
 	"cms/internal/cms"
 	"cms/internal/dev"
+	"cms/internal/fuzzer"
 	"cms/internal/workload"
 )
 
@@ -33,27 +33,34 @@ func soloRun(t *testing.T, w workload.Workload, cfg cms.Config) *Result {
 	}
 }
 
+// stateOf adapts a farm Result to the differential oracle's State so the
+// comparison logic lives in exactly one place (internal/fuzzer). Memory and
+// MMIO text are not part of a farm Result; they compare as equal empties.
+func stateOf(name string, r *Result) *fuzzer.State {
+	return &fuzzer.State{
+		Name:    name,
+		Regs:    r.Regs,
+		EIP:     r.EIP,
+		Flags:   r.Flags,
+		Halted:  r.Halted,
+		Console: r.Console,
+		Metrics: r.Metrics,
+		Cache:   r.CacheStats,
+	}
+}
+
 // diffResults compares every deterministic observable: final architectural
 // state, console output, the full Metrics struct, and translation-cache
 // statistics. Wall-clock and shared-store attribution are deliberately
 // excluded — those are the only fields allowed to differ.
 func diffResults(t *testing.T, name string, solo, farm *Result) {
 	t.Helper()
-	if solo.Regs != farm.Regs {
-		t.Errorf("%s: regs differ\n solo %v\n farm %v", name, solo.Regs, farm.Regs)
+	a, b := stateOf("solo", solo), stateOf("farm", farm)
+	if d := fuzzer.DiffArch(a, b); d != "" {
+		t.Errorf("%s: architectural state differs: %s", name, d)
 	}
-	if solo.EIP != farm.EIP || solo.Flags != farm.Flags || solo.Halted != farm.Halted {
-		t.Errorf("%s: cpu state differs: solo eip=%#x flags=%#x halted=%v, farm eip=%#x flags=%#x halted=%v",
-			name, solo.EIP, solo.Flags, solo.Halted, farm.EIP, farm.Flags, farm.Halted)
-	}
-	if solo.Console != farm.Console {
-		t.Errorf("%s: console output differs", name)
-	}
-	if !reflect.DeepEqual(solo.Metrics, farm.Metrics) {
-		t.Errorf("%s: Metrics differ\n solo %+v\n farm %+v", name, solo.Metrics, farm.Metrics)
-	}
-	if solo.CacheStats != farm.CacheStats {
-		t.Errorf("%s: cache stats differ: solo %+v farm %+v", name, solo.CacheStats, farm.CacheStats)
+	if d := fuzzer.DiffMetrics(a, b); d != "" {
+		t.Errorf("%s: %s", name, d)
 	}
 }
 

@@ -1,0 +1,703 @@
+package fuzzer
+
+import (
+	"cms/internal/dev"
+	"cms/internal/guest"
+)
+
+// Program memory map. Everything lives in the first megabyte: the IVT and
+// generated code sit at the bottom, the stack and data cells well away from
+// any code page (so only deliberate SMC fragments ever write code pages),
+// and the scratch region is where every random memory access is confined by
+// address masking.
+const (
+	progOrg   = guest.IVTBase // image starts at the IVT
+	progRAM   = 1 << 20
+	stackTop  = 0x60000
+	cellBase  = 0x70000 // loop counters and generator bookkeeping cells
+	cellOuter = cellBase + 0
+	cellTick  = cellBase + 4
+	cellInt   = cellBase + 8
+	cellFree  = cellBase + 0x20 // first dynamically allocated cell
+	scratch   = 0x80000         // masked random loads/stores land here
+
+	// tickCap saturates the timer handler: every configuration observes
+	// exactly tickCap memory-visible ticks, however many interrupts are
+	// actually delivered (delivery boundaries legitimately differ between
+	// the interpreter and region-lumped translated execution).
+	tickCap = 3
+
+	// scrubLo..stackTop is the interrupt residue window: asynchronous
+	// deliveries push Flags/EIP (and the handler one register) below the
+	// stack top, at instants that differ across configurations. The
+	// epilogue zeroes the window so final memory images compare equal.
+	scrubLo = stackTop - 16
+
+	defaultBudget = 2_000_000
+)
+
+// pool is the set of registers random code may clobber. ESP is excluded:
+// only generated scaffolding (push/pop pairs, calls, interrupt delivery)
+// moves the stack pointer, which keeps every asynchronous delivery inside
+// the scrub window.
+var pool = [...]guest.Reg{guest.EAX, guest.ECX, guest.EDX, guest.EBX, guest.EBP, guest.ESI, guest.EDI}
+
+// GenConfig shapes generation. The zero value is normalized from the seed.
+type GenConfig struct {
+	// Frags is the number of random body fragments (0 = 5..10 from seed).
+	Frags int
+	// Outer is the outer-loop trip count wrapping the whole body; high
+	// enough that every fragment crosses the oracle's translation threshold
+	// (0 = 24).
+	Outer int
+	// Feature gates, mostly for debugging generator regressions.
+	NoSMC, NoIRQ, NoMMIO, NoFault bool
+}
+
+func (c GenConfig) normalized(seed uint64) GenConfig {
+	if c.Frags == 0 {
+		r := rng{s: seed ^ 0x9E3779B97F4A7C15}
+		c.Frags = 5 + r.n(6)
+	}
+	if c.Outer == 0 {
+		c.Outer = 24
+	}
+	return c
+}
+
+// rng is the deterministic generator PRNG (the same LCG family the workload
+// suite uses; fixed here forever so seeds reproduce across versions).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint32 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return uint32(r.s >> 32)
+}
+
+func (r *rng) n(k int) int { return int(r.next() % uint32(k)) }
+
+func (r *rng) oneIn(k int) bool { return r.n(k) == 0 }
+
+// gen carries generator state while fragments are built.
+type gen struct {
+	r     rng
+	cfg   GenConfig
+	frags []*frag // main-line order
+	subs  []*frag // call targets, emitted after the epilogue
+	cell  uint32  // next free bookkeeping cell
+	seq   int     // fragment label counter
+}
+
+func (g *gen) reg() guest.Reg { return pool[g.r.n(len(pool))] }
+
+// regNot picks a pool register different from every argument.
+func (g *gen) regNot(not ...guest.Reg) guest.Reg {
+	for {
+		r := g.reg()
+		ok := true
+		for _, x := range not {
+			if r == x {
+				ok = false
+			}
+		}
+		if ok {
+			return r
+		}
+	}
+}
+
+func (g *gen) allocCell() uint32 {
+	a := g.cell
+	g.cell += 4
+	return a
+}
+
+func (g *gen) scratchSlot() uint32 { return scratch + uint32(g.r.n(0x1000))&^3 }
+
+// --- symbolic instruction constructors --------------------------------------
+
+func abs(disp uint32) guest.MemOperand { return guest.MemOperand{Disp: disp} }
+
+func based(b guest.Reg, disp uint32) guest.MemOperand {
+	return guest.MemOperand{HasBase: true, Base: b, Disp: disp}
+}
+
+func indexed(b, i guest.Reg, scale uint8, disp uint32) guest.MemOperand {
+	return guest.MemOperand{HasBase: true, Base: b, HasIndex: true, Index: i, ScaleLog: scale, Disp: disp}
+}
+
+func op0(op guest.Op) ins              { return ins{in: guest.Insn{Op: op}} }
+func opR(op guest.Op, d guest.Reg) ins { return ins{in: guest.Insn{Op: op, Dst: d}} }
+func opRR(op guest.Op, d, s guest.Reg) ins {
+	return ins{in: guest.Insn{Op: op, Dst: d, Src: s}}
+}
+func opRI(op guest.Op, d guest.Reg, imm uint32) ins {
+	return ins{in: guest.Insn{Op: op, Dst: d, Imm: imm}}
+}
+func opRM(op guest.Op, d guest.Reg, m guest.MemOperand) ins {
+	return ins{in: guest.Insn{Op: op, Dst: d, Mem: m}}
+}
+func opMR(op guest.Op, m guest.MemOperand, s guest.Reg) ins {
+	return ins{in: guest.Insn{Op: op, Mem: m, Src: s}}
+}
+func opMI(m guest.MemOperand, imm uint32) ins {
+	return ins{in: guest.Insn{Op: guest.OpMOVmi, Mem: m, Imm: imm}}
+}
+func opRel(op guest.Op, label string) ins {
+	return ins{in: guest.Insn{Op: op}, kind: refRel, ref: label}
+}
+func jcc(c guest.Cond, label string) ins {
+	return ins{in: guest.Insn{Op: guest.OpJccBase + guest.Op(c)}, kind: refRel, ref: label}
+}
+func opOut(port uint16, s guest.Reg) ins {
+	return ins{in: guest.Insn{Op: guest.OpOUT, Imm: uint32(port), Src: s}}
+}
+func opIn(d guest.Reg, port uint16) ins {
+	return ins{in: guest.Insn{Op: guest.OpIN, Dst: d, Imm: uint32(port)}}
+}
+
+func core(i ins) ins { i.core = true; return i }
+
+func labeled(i ins, l string) ins { i.label = l; return i }
+
+// --- fixed scaffolding ------------------------------------------------------
+
+// ivtFrag builds the interrupt vector table as a data fragment. Exception
+// vectors the generator can trip resolve to handlers; the remaining #UD/#PF
+// class vectors go to a clean halt so that even degenerate shrink candidates
+// terminate deterministically instead of erroring through IVT entry 0.
+func ivtFrag() *frag {
+	f := &frag{label: "ivt", kind: "ivt", keep: true, data: make([]byte, guest.NumVectors*4)}
+	vec := func(v int, label string) {
+		f.drefs = append(f.drefs, dataRef{off: uint32(v) * 4, label: label})
+	}
+	vec(guest.VecDE, "h_de")
+	vec(guest.VecUD, "h_halt")
+	vec(guest.VecNP, "h_halt")
+	vec(guest.VecGP, "h_halt")
+	vec(guest.VecPF, "h_halt")
+	vec(guest.VecIRQBase+dev.IRQTimer, "h_timer")
+	vec(guest.VecIRQBase+dev.IRQDisk, "h_nop")
+	vec(guest.VecIRQBase+dev.IRQBlt, "h_nop")
+	vec(48, "h_int")
+	return f
+}
+
+// handlerFrags builds the interrupt/exception handlers. All are transparent:
+// registers are preserved and IRET restores the pushed flags image, so a
+// delivery's only memory trace is inside the scrub window (plus the
+// deliberate tick/int cells).
+func handlerFrags() []*frag {
+	eax := guest.EAX
+	ret := based(guest.ESP, 4) // return EIP slot after one push
+	de := &frag{label: "h_de", kind: "handler", keep: true, body: []ins{
+		core(opR(guest.OpPUSHr, eax)),
+		core(opRM(guest.OpMOVrm, eax, ret)),
+		core(opRI(guest.OpADDri, eax, 2)), // skip the 2-byte DIV/IDIV
+		core(opMR(guest.OpMOVmr, ret, eax)),
+		core(opR(guest.OpPOPr, eax)),
+		core(op0(guest.OpIRET)),
+	}}
+	halt := &frag{label: "h_halt", kind: "handler", keep: true, body: []ins{
+		core(op0(guest.OpHLT)),
+	}}
+	timer := &frag{label: "h_timer", kind: "handler", keep: true, body: []ins{
+		core(opR(guest.OpPUSHr, eax)),
+		core(opRM(guest.OpMOVrm, eax, abs(cellTick))),
+		core(opRI(guest.OpCMPri, eax, tickCap)),
+		core(jcc(guest.CondGE, "h_timer$sat")),
+		core(opR(guest.OpINC, eax)),
+		core(opMR(guest.OpMOVmr, abs(cellTick), eax)),
+		core(labeled(opR(guest.OpPOPr, eax), "h_timer$sat")),
+		core(op0(guest.OpIRET)),
+	}}
+	softint := &frag{label: "h_int", kind: "handler", keep: true, body: []ins{
+		core(opR(guest.OpPUSHr, eax)),
+		core(opRM(guest.OpMOVrm, eax, abs(cellInt))),
+		core(opR(guest.OpINC, eax)),
+		core(opMR(guest.OpMOVmr, abs(cellInt), eax)),
+		core(opR(guest.OpPOPr, eax)),
+		core(op0(guest.OpIRET)),
+	}}
+	nop := &frag{label: "h_nop", kind: "handler", keep: true, body: []ins{
+		core(op0(guest.OpIRET)),
+	}}
+	return []*frag{de, halt, timer, softint, nop}
+}
+
+func (g *gen) entryFrag() *frag {
+	f := &frag{label: "entry", kind: "entry", keep: true}
+	f.body = append(f.body,
+		core(op0(guest.OpCLI)),
+		core(opRI(guest.OpMOVri, guest.ESP, stackTop)),
+		core(opMI(abs(cellOuter), uint32(g.cfg.Outer))),
+		core(opMI(abs(cellTick), 0)),
+		core(opMI(abs(cellInt), 0)),
+	)
+	for i := 0; i < 4; i++ {
+		f.body = append(f.body, core(opMI(abs(scratch+uint32(16*i)), g.r.next())))
+	}
+	for _, r := range pool {
+		f.body = append(f.body, core(opRI(guest.OpMOVri, r, g.r.next())))
+	}
+	return f
+}
+
+func outerTailFrag() *frag {
+	eax := guest.EAX
+	return &frag{label: "outertail", kind: "outer", keep: true, body: []ins{
+		core(opRM(guest.OpMOVrm, eax, abs(cellOuter))),
+		core(opR(guest.OpDEC, eax)),
+		core(opMR(guest.OpMOVmr, abs(cellOuter), eax)),
+		core(jcc(guest.CondNE, "outerhead")),
+	}}
+}
+
+func epilogueFrag() *frag {
+	eax := guest.EAX
+	f := &frag{label: "epilogue", kind: "epilogue", keep: true}
+	for a := uint32(scrubLo); a < stackTop; a += 4 {
+		f.body = append(f.body, core(opMI(abs(a), 0)))
+	}
+	f.body = append(f.body,
+		core(opRI(guest.OpMOVri, eax, 'K')),
+		core(opOut(dev.ConsoleDataPort, eax)),
+		core(op0(guest.OpHLT)),
+	)
+	return f
+}
+
+// --- random body fragments --------------------------------------------------
+
+func (g *gen) newFrag(kind string) *frag {
+	f := &frag{label: fragLabel(g.seq), kind: kind}
+	g.seq++
+	return f
+}
+
+func fragLabel(i int) string { return "f" + itoa(i) }
+
+// itoa avoids fmt on the generator's hot path (and keeps output stable).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+var maskChoices = [...]uint32{0xFFF, 0x3FC, 0xFC, 0x3F, 0x7}
+
+// aluIns emits one random register-only ALU instruction.
+func (g *gen) aluIns() ins {
+	d, s := g.reg(), g.reg()
+	switch g.r.n(12) {
+	case 0:
+		return opRR([]guest.Op{guest.OpADDrr, guest.OpSUBrr, guest.OpANDrr, guest.OpORrr, guest.OpXORrr}[g.r.n(5)], d, s)
+	case 1:
+		return opRI([]guest.Op{guest.OpADDri, guest.OpSUBri, guest.OpANDri, guest.OpORri, guest.OpXORri}[g.r.n(5)], d, g.r.next())
+	case 2:
+		return opRR([]guest.Op{guest.OpADCrr, guest.OpSBBrr}[g.r.n(2)], d, s)
+	case 3:
+		return opRI([]guest.Op{guest.OpADCri, guest.OpSBBri}[g.r.n(2)], d, g.r.next())
+	case 4:
+		return opRR([]guest.Op{guest.OpCMPrr, guest.OpTESTrr}[g.r.n(2)], d, s)
+	case 5:
+		return opR([]guest.Op{guest.OpINC, guest.OpDEC, guest.OpNEG, guest.OpNOT}[g.r.n(4)], d)
+	case 6:
+		return opRI([]guest.Op{guest.OpSHLri, guest.OpSHRri, guest.OpSARri}[g.r.n(3)], d, uint32(g.r.n(32)))
+	case 7:
+		return opR([]guest.Op{guest.OpSHLrc, guest.OpSHRrc, guest.OpSARrc}[g.r.n(3)], d)
+	case 8:
+		if g.r.oneIn(2) {
+			return opRR(guest.OpIMULrr, d, s)
+		}
+		return opRI(guest.OpIMULri, d, g.r.next())
+	case 9:
+		if g.r.oneIn(2) {
+			return opR(guest.OpMUL, d)
+		}
+		return op0(guest.OpCDQ)
+	case 10:
+		return opRR(guest.OpXCHG, d, s)
+	default:
+		if g.r.oneIn(2) {
+			return opRR(guest.OpMOVrr, d, s)
+		}
+		return opRI(guest.OpMOVri, d, g.r.next())
+	}
+}
+
+// memIns emits a masked random memory access: the base register is ANDed
+// into the scratch window first, so accesses are always valid — and the
+// small masks make distinct fragments alias the same lines constantly.
+func (g *gen) memIns(out *[]ins) {
+	rB := g.reg()
+	mask := maskChoices[g.r.n(len(maskChoices))]
+	// Mask ANDs are core: dropping one while keeping its access would let
+	// the access escape the scratch window and clobber program structure.
+	*out = append(*out, core(opRI(guest.OpANDri, rB, mask)))
+	m := based(rB, scratch)
+	if g.r.oneIn(4) {
+		rI := g.regNot(rB)
+		*out = append(*out, core(opRI(guest.OpANDri, rI, maskChoices[2+g.r.n(3)])))
+		m = indexed(rB, rI, uint8(g.r.n(3)), scratch)
+	}
+	d := g.reg()
+	switch g.r.n(10) {
+	case 0:
+		*out = append(*out, opRM(guest.OpMOVrm, d, m))
+	case 1:
+		*out = append(*out, opMR(guest.OpMOVmr, m, d))
+	case 2:
+		*out = append(*out, opMI(m, g.r.next()))
+	case 3:
+		*out = append(*out, opRM(guest.OpMOVBrm, d, m))
+	case 4:
+		*out = append(*out, opMR(guest.OpMOVBmr, m, d))
+	case 5:
+		*out = append(*out, opRM(guest.OpMOVSXB, d, m))
+	case 6:
+		base := []guest.Op{guest.OpADDrm, guest.OpSUBrm, guest.OpANDrm, guest.OpORrm, guest.OpXORrm, guest.OpCMPrm}
+		*out = append(*out, opRM(base[g.r.n(len(base))], d, m))
+	case 7:
+		base := []guest.Op{guest.OpADDmr, guest.OpSUBmr, guest.OpANDmr, guest.OpORmr, guest.OpXORmr}
+		*out = append(*out, opMR(base[g.r.n(len(base))], m, d))
+	case 8:
+		*out = append(*out, ins{in: guest.Insn{Op: guest.OpCMPmi, Mem: m, Imm: g.r.next()}})
+	default:
+		*out = append(*out, opRM(guest.OpLEA, d, m))
+	}
+}
+
+func (g *gen) aluFrag() *frag {
+	f := g.newFrag("alu")
+	for i, n := 0, 3+g.r.n(8); i < n; i++ {
+		f.body = append(f.body, g.aluIns())
+	}
+	return f
+}
+
+func (g *gen) memFrag() *frag {
+	f := g.newFrag("mem")
+	for i, n := 0, 2+g.r.n(5); i < n; i++ {
+		g.memIns(&f.body)
+	}
+	return f
+}
+
+// pushPopFrag emits a balanced push/pop sequence. PUSHF is matched by POPF
+// at the same stack depth, so the interrupt flag (always clear here) is
+// restored exactly.
+func (g *gen) pushPopFrag() *frag {
+	f := g.newFrag("stack")
+	depth := 1 + g.r.n(3)
+	kinds := make([]int, depth)
+	for i := range kinds {
+		kinds[i] = g.r.n(3)
+		switch kinds[i] {
+		case 0:
+			f.body = append(f.body, core(opR(guest.OpPUSHr, g.reg())))
+		case 1:
+			f.body = append(f.body, core(ins{in: guest.Insn{Op: guest.OpPUSHi, Imm: g.r.next()}}))
+		default:
+			f.body = append(f.body, core(op0(guest.OpPUSHF)))
+		}
+	}
+	for i := 0; i < 1+g.r.n(3); i++ {
+		f.body = append(f.body, g.aluIns())
+	}
+	for i := depth - 1; i >= 0; i-- {
+		if kinds[i] == 2 {
+			f.body = append(f.body, core(op0(guest.OpPOPF)))
+		} else {
+			f.body = append(f.body, core(opR(guest.OpPOPr, g.reg())))
+		}
+	}
+	return f
+}
+
+func (g *gen) loopFrag() *frag {
+	f := g.newFrag("loop")
+	cell := g.allocCell()
+	rL := g.reg()
+	head := f.label + "$head"
+	f.body = append(f.body, core(opMI(abs(cell), uint32(2+g.r.n(8)))))
+	f.body = append(f.body, core(labeled(op0(guest.OpNOP), head)))
+	for i, n := 0, 2+g.r.n(4); i < n; i++ {
+		if g.r.oneIn(3) {
+			g.memIns(&f.body)
+		} else {
+			f.body = append(f.body, g.aluIns())
+		}
+	}
+	f.body = append(f.body,
+		core(opRM(guest.OpMOVrm, rL, abs(cell))),
+		core(opR(guest.OpDEC, rL)),
+		core(opMR(guest.OpMOVmr, abs(cell), rL)),
+		core(jcc(guest.CondNE, head)),
+	)
+	return f
+}
+
+func (g *gen) callFrag() *frag {
+	sub := &frag{label: "s" + itoa(len(g.subs)), kind: "sub"}
+	for i, n := 0, 2+g.r.n(4); i < n; i++ {
+		if g.r.oneIn(4) {
+			g.memIns(&sub.body)
+		} else {
+			sub.body = append(sub.body, g.aluIns())
+		}
+	}
+	sub.body = append(sub.body, core(op0(guest.OpRET)))
+	g.subs = append(g.subs, sub)
+
+	f := g.newFrag("call")
+	f.deps = append(f.deps, sub.label)
+	if g.r.oneIn(2) {
+		f.body = append(f.body, core(opRel(guest.OpCALLrel, sub.label)))
+	} else {
+		rT := g.reg()
+		f.body = append(f.body,
+			core(ins{in: guest.Insn{Op: guest.OpMOVri, Dst: rT}, kind: refImm, ref: sub.label}),
+			core(opR(guest.OpCALLr, rT)),
+		)
+	}
+	return f
+}
+
+func (g *gen) jccFrag() *frag {
+	f := g.newFrag("jcc")
+	a, b := g.reg(), g.reg()
+	if g.r.oneIn(2) {
+		f.body = append(f.body, opRR(guest.OpCMPrr, a, b))
+	} else {
+		f.body = append(f.body, opRR(guest.OpTESTrr, a, b))
+	}
+	cond := guest.Cond(g.r.n(16))
+	f.body = append(f.body, core(jcc(cond, f.end())))
+	for i, n := 0, 1+g.r.n(3); i < n; i++ {
+		f.body = append(f.body, g.aluIns())
+	}
+	return f
+}
+
+// indJmpFrag jumps to its own end through a register or a memory cell — the
+// data-dependent control transfers that exercise indirect dispatch and the
+// per-translation indirect target cache.
+func (g *gen) indJmpFrag() *frag {
+	f := g.newFrag("indjmp")
+	rT := g.reg()
+	load := core(ins{in: guest.Insn{Op: guest.OpMOVri, Dst: rT}, kind: refImm, ref: f.end()})
+	if g.r.oneIn(2) {
+		f.body = append(f.body, load, core(opR(guest.OpJMPr, rT)))
+	} else {
+		cell := g.allocCell()
+		f.body = append(f.body,
+			load,
+			core(opMR(guest.OpMOVmr, abs(cell), rT)),
+			core(ins{in: guest.Insn{Op: guest.OpJMPm, Mem: abs(cell)}}),
+		)
+	}
+	return f
+}
+
+// divFrag provokes a #DE on roughly half the outer iterations: the divisor
+// is masked to {0,1}, and the skip handler resumes past the 2-byte DIV.
+func (g *gen) divFrag() *frag {
+	f := g.newFrag("div")
+	rX := g.regNot(guest.EAX, guest.EDX)
+	f.body = append(f.body, core(opRR(guest.OpXORrr, guest.EDX, guest.EDX)))
+	if !g.r.oneIn(4) {
+		f.body = append(f.body, opRI(guest.OpANDri, rX, 1))
+	}
+	if g.r.oneIn(2) {
+		f.body = append(f.body, core(opR(guest.OpDIV, rX)))
+	} else {
+		f.body = append(f.body, core(opR(guest.OpIDIV, rX)))
+	}
+	return f
+}
+
+// intFrag delivers a software interrupt through vector 48 — synchronous, so
+// its stack residue is identical in every configuration.
+func (g *gen) intFrag() *frag {
+	f := g.newFrag("softint")
+	f.body = append(f.body, core(ins{in: guest.Insn{Op: guest.OpINT, Imm: 48}}))
+	return f
+}
+
+// smcStylizedFrag rewrites the imm32 field of a MOV on every outer
+// iteration, then executes it — the §3.6.4 stylized SMC idiom the translator
+// adapts to with immediate loads.
+func (g *gen) smcStylizedFrag() *frag {
+	f := g.newFrag("smc-stylized")
+	site := f.label + "$site"
+	pat := g.allocCell()
+	rA := g.reg()
+	rC := g.regNot(rA)
+	f.body = append(f.body,
+		core(opRM(guest.OpMOVrm, rA, abs(pat))),
+		core(opRI(guest.OpADDri, rA, g.r.next()|1)),
+		core(opMR(guest.OpMOVmr, abs(pat), rA)),
+		// Patch the imm32 of the MOV below (opcode byte + reg byte = +2).
+		core(ins{in: guest.Insn{Op: guest.OpMOVmr, Src: rA}, kind: refDisp, ref: site, add: 2}),
+		core(labeled(opRI(guest.OpMOVri, rC, 0x11110000), site)),
+		core(opMR(guest.OpMOVmr, abs(g.scratchSlot()), rC)),
+	)
+	return f
+}
+
+// smcHostileFrag flips one executed instruction between ADD and SUB with a
+// single byte store on every outer iteration — hostile SMC that keeps
+// invalidating the covering translation mid-chain and drives the protection
+// and retranslation ladders.
+func (g *gen) smcHostileFrag() *frag {
+	f := g.newFrag("smc-hostile")
+	site := f.label + "$site"
+	tog := g.allocCell()
+	rT := g.reg()
+	rX := g.regNot(rT)
+	rY := g.regNot(rT, rX)
+	f.body = append(f.body,
+		core(opRM(guest.OpMOVrm, rT, abs(tog))),
+		core(opRI(guest.OpXORri, rT, 1)),
+		core(opMR(guest.OpMOVmr, abs(tog), rT)),
+		// opcode = 0x20 + 4*toggle: OpADDrr or OpSUBrr, same length.
+		core(opRI(guest.OpSHLri, rT, 2)),
+		core(opRI(guest.OpADDri, rT, uint32(guest.OpADDrr))),
+		core(ins{in: guest.Insn{Op: guest.OpMOVBmr, Src: rT}, kind: refDisp, ref: site}),
+		core(labeled(opRR(guest.OpADDrr, rX, rY), site)),
+		core(opMR(guest.OpMOVmr, abs(g.scratchSlot()), rX)),
+	)
+	return f
+}
+
+// mmioFrag touches the console text buffer (MMIO that looks like RAM, §3.4)
+// and the console ports (irrevocably ordered I/O).
+func (g *gen) mmioFrag() *frag {
+	f := g.newFrag("mmio")
+	rB := g.reg()
+	// 32-bit MMIO accesses must be naturally aligned; mask to a word offset.
+	// Core for the same reason as memIns masks.
+	f.body = append(f.body, core(opRI(guest.OpANDri, rB, 0xFFC)))
+	for i, n := 0, 1+g.r.n(3); i < n; i++ {
+		d := g.regNot(rB)
+		switch g.r.n(6) {
+		case 0:
+			f.body = append(f.body, opMR(guest.OpMOVmr, based(rB, dev.ConsoleMMIOBase), d))
+		case 1:
+			f.body = append(f.body, opRM(guest.OpMOVrm, d, based(rB, dev.ConsoleMMIOBase)))
+		case 2:
+			f.body = append(f.body, opMR(guest.OpMOVBmr, based(rB, dev.ConsoleMMIOBase+uint32(g.r.n(4))), d))
+		case 3:
+			f.body = append(f.body, opRM(guest.OpMOVBrm, d, based(rB, dev.ConsoleMMIOBase+uint32(g.r.n(4)))))
+		case 4:
+			f.body = append(f.body, opOut(dev.ConsoleDataPort, d))
+		default:
+			f.body = append(f.body, opIn(d, dev.ConsoleStatusPort))
+		}
+	}
+	return f
+}
+
+// irqPhaseFrag is the timer-pressure window: interrupts are enabled only
+// here, at a known stack depth, with the saturating handler making delivery
+// memory-invisible past tickCap. Outside the phase IF stays clear, so
+// asynchronous delivery timing — which legitimately differs between
+// instruction-granular interpretation and region-granular translated
+// execution — can never leak into final state.
+func (g *gen) irqPhaseFrag() *frag {
+	f := g.newFrag("irq-phase")
+	head := f.label + "$spin"
+	rP := g.reg()
+	rS := g.regNot(rP)
+	f.body = append(f.body,
+		core(opRI(guest.OpMOVri, rP, uint32(7+g.r.n(9)))),
+		core(opOut(dev.TimerPeriodPort, rP)),
+		core(op0(guest.OpSTI)),
+		core(opRI(guest.OpMOVri, rS, uint32(40+g.r.n(40)))),
+		core(labeled(op0(guest.OpNOP), head)),
+	)
+	for i, n := 0, 1+g.r.n(2); i < n; i++ {
+		d := g.regNot(rS)
+		f.body = append(f.body, opRR(guest.OpADDrr, d, g.regNot(rS)))
+	}
+	f.body = append(f.body,
+		core(opR(guest.OpDEC, rS)),
+		core(jcc(guest.CondNE, head)),
+		core(op0(guest.OpCLI)),
+		core(opRI(guest.OpMOVri, rP, 0)),
+		core(opOut(dev.TimerPeriodPort, rP)),
+	)
+	return f
+}
+
+// generate builds the full fragment list for a seed: fixed scaffolding
+// around cfg.Frags random body fragments, subroutines trailing the epilogue.
+func generate(seed uint64, cfg GenConfig) []*frag {
+	g := &gen{r: rng{s: seed}, cfg: cfg, cell: cellFree}
+
+	var body []*frag
+	irqAt := -1
+	if !cfg.NoIRQ {
+		irqAt = g.r.n(cfg.Frags)
+	}
+	for i := 0; i < cfg.Frags; i++ {
+		if i == irqAt {
+			body = append(body, g.irqPhaseFrag())
+			continue
+		}
+		var f *frag
+		for f == nil {
+			switch g.r.n(11) {
+			case 0, 1:
+				f = g.aluFrag()
+			case 2, 3:
+				f = g.memFrag()
+			case 4:
+				f = g.pushPopFrag()
+			case 5:
+				f = g.loopFrag()
+			case 6:
+				f = g.callFrag()
+			case 7:
+				f = g.jccFrag()
+			case 8:
+				f = g.indJmpFrag()
+			case 9:
+				switch {
+				case !cfg.NoSMC && g.r.oneIn(2):
+					f = g.smcStylizedFrag()
+				case !cfg.NoSMC:
+					f = g.smcHostileFrag()
+				}
+			default:
+				switch {
+				case !cfg.NoMMIO && g.r.oneIn(2):
+					f = g.mmioFrag()
+				case !cfg.NoFault && g.r.oneIn(2):
+					f = g.divFrag()
+				case !cfg.NoFault:
+					f = g.intFrag()
+				}
+			}
+		}
+		body = append(body, f)
+	}
+
+	frags := []*frag{ivtFrag()}
+	frags = append(frags, handlerFrags()...)
+	frags = append(frags, g.entryFrag())
+	frags = append(frags, &frag{label: "outerhead", kind: "outer", keep: true})
+	frags = append(frags, body...)
+	frags = append(frags, outerTailFrag(), epilogueFrag())
+	frags = append(frags, g.subs...)
+	return frags
+}

@@ -1,0 +1,165 @@
+// Package fuzzer is the generative testing subsystem: a seeded, deterministic
+// generator of random-but-valid g86 guest programs, a differential oracle
+// that runs each program through every execution configuration of the engine
+// and asserts byte-identical outcomes, replayable fault-injection schedules,
+// and an automatic shrinker that reduces failing programs to minimal
+// reproducers.
+//
+// The package exists because the paper's whole argument — speculation is safe
+// only if every assumption failure is caught and recovered bit-exactly — is a
+// universally quantified claim, and a fixed workload suite only samples it.
+// The generator samples it adversarially: flag-sensitive ALU chains, memory
+// aliasing, stylized and hostile self-modifying code, MMIO touches, and
+// timer-interrupt pressure, all from one 64-bit seed.
+package fuzzer
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cms/internal/guest"
+)
+
+// refKind says which field of an instruction a symbolic reference patches.
+type refKind uint8
+
+const (
+	refNone refKind = iota
+	refRel          // Imm = label+addend - next-insn address (rel32 branches)
+	refImm          // Imm = label+addend (absolute address immediates)
+	refDisp         // Mem.Disp = label+addend (absolute memory operands)
+)
+
+// ins is one symbolic instruction: a guest.Insn plus an optional label
+// definition at its own address and an optional reference to another label.
+type ins struct {
+	in    guest.Insn
+	label string  // defines label at this instruction's address ("" = none)
+	kind  refKind // reference into in, resolved at link time
+	ref   string
+	add   uint32 // addend applied to the referenced label
+	core  bool   // structurally required: the shrinker must not remove it
+}
+
+// dataRef is a 32-bit little-endian label fixup into a data fragment.
+type dataRef struct {
+	off   uint32
+	label string
+}
+
+// frag is one program fragment: either code (body) or raw data. Fragments
+// are the shrinker's unit of removal; scaffolding fragments (keep) and
+// fragments other fragments depend on survive every shrink.
+type frag struct {
+	label string // defined at the fragment's first byte
+	kind  string // generator classification, for reproducer listings
+	body  []ins
+	data  []byte
+	drefs []dataRef
+	keep  bool     // scaffolding: IVT, handlers, loop shell, epilogue
+	deps  []string // labels of fragments that must remain if this one does
+}
+
+// end returns the fragment's end label name, defined just past its last byte.
+func (f *frag) end() string { return f.label + "$end" }
+
+// linkError reports an unresolved label or layout failure; generator bugs,
+// not guest bugs, so callers treat it as fatal.
+type linkError struct{ msg string }
+
+func (e *linkError) Error() string { return "fuzzer: link: " + e.msg }
+
+// link assembles the fragments into a flat image based at org. Two passes:
+// sizes are static per opcode, so pass one assigns addresses and defines
+// labels, pass two encodes with references resolved.
+func link(org uint32, frags []*frag) (image []byte, labels map[string]uint32, err error) {
+	labels = make(map[string]uint32)
+	addr := org
+	for _, f := range frags {
+		if f.label != "" {
+			if _, dup := labels[f.label]; dup {
+				return nil, nil, &linkError{"duplicate label " + f.label}
+			}
+			labels[f.label] = addr
+		}
+		if f.data != nil {
+			addr += uint32(len(f.data))
+		} else {
+			for i := range f.body {
+				if l := f.body[i].label; l != "" {
+					if _, dup := labels[l]; dup {
+						return nil, nil, &linkError{"duplicate label " + l}
+					}
+					labels[l] = addr
+				}
+				addr += guest.EncodedLen(f.body[i].in.Op)
+			}
+		}
+		labels[f.end()] = addr
+	}
+
+	image = make([]byte, 0, addr-org)
+	for _, f := range frags {
+		if f.data != nil {
+			base := uint32(len(image))
+			image = append(image, f.data...)
+			for _, dr := range f.drefs {
+				v, ok := labels[dr.label]
+				if !ok {
+					return nil, nil, &linkError{"undefined label " + dr.label}
+				}
+				binary.LittleEndian.PutUint32(image[base+dr.off:], v)
+			}
+			continue
+		}
+		for i := range f.body {
+			s := &f.body[i]
+			in := s.in
+			here := org + uint32(len(image))
+			if s.kind != refNone {
+				v, ok := labels[s.ref]
+				if !ok {
+					return nil, nil, &linkError{"undefined label " + s.ref}
+				}
+				v += s.add
+				switch s.kind {
+				case refRel:
+					in.Imm = v - (here + guest.EncodedLen(in.Op))
+				case refImm:
+					in.Imm = v
+				case refDisp:
+					in.Mem.Disp = v
+				}
+			}
+			image = guest.Encode(image, in)
+		}
+	}
+	return image, labels, nil
+}
+
+// disasm renders the linked program for reproducer listings: one line per
+// instruction of every code fragment, prefixed with addresses and fragment
+// kinds. It re-decodes from the image so patched references read correctly.
+func disasm(org uint32, frags []*frag, image []byte) []string {
+	var out []string
+	addr := org
+	for _, f := range frags {
+		if f.data != nil {
+			out = append(out, fmt.Sprintf("# %#06x: %s (%d data bytes)", addr, f.kind, len(f.data)))
+			addr += uint32(len(f.data))
+			continue
+		}
+		out = append(out, fmt.Sprintf("# %s (%s):", f.label, f.kind))
+		for range f.body {
+			off := addr - org
+			in, err := guest.Decode(image[off:], addr)
+			if err != nil {
+				out = append(out, fmt.Sprintf("# %#06x: <undecodable: %v>", addr, err))
+				break
+			}
+			out = append(out, fmt.Sprintf("# %#06x: %s", addr, in))
+			addr += in.Len
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package fuzzer
+
+import (
+	"fmt"
+	"strings"
+
+	"cms/internal/cms"
+	"cms/internal/tcache"
+)
+
+// The differential oracle runs one generated program through every
+// execution configuration of the engine and compares outcomes.
+//
+// Architectural state — registers, flags, halt/error status, console and
+// MMIO output, and the full RAM image — must be byte-identical across ALL
+// configurations: that is the paper's correctness contract, and the guest
+// has no way to tell which engine ran it.
+//
+// Metrics are compared within equivalence classes, matching the contracts
+// the engine actually makes:
+//
+//   - sync class {xlate, compiled, sharedA, sharedB}: the compiled backend
+//     and the shared store are pure wall-clock optimizations, so the full
+//     Metrics struct and cache statistics are identical.
+//   - pipelined class {pipe1, pipe2}: installs happen at deterministic due
+//     times independent of worker count, so any worker count >= 1 produces
+//     identical Metrics (but different from synchronous translation, which
+//     installs immediately).
+//   - interp: pure interpretation retires through a different cost model
+//     entirely; only its architectural state is compared.
+//
+// Fault-injected runs perturb Metrics by design, so they participate only
+// in the architectural comparison.
+
+// OracleConfig returns the engine configuration the oracle varies. The hot
+// threshold is dropped so the generator's 24-trip outer loop pushes every
+// fragment through profile → translate → chain quickly.
+func OracleConfig() cms.Config {
+	c := cms.DefaultConfig()
+	c.HotThreshold = 10
+	return c
+}
+
+// Divergence describes an oracle failure: which two configurations
+// disagreed about what.
+type Divergence struct {
+	Seed   uint64
+	Field  string // "arch" or "metrics"
+	A, B   string // configuration names
+	Detail string
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("seed %#x: %s divergence between %s and %s: %s",
+		d.Seed, d.Field, d.A, d.B, d.Detail)
+}
+
+// CheckOptions tunes one oracle invocation.
+type CheckOptions struct {
+	// Inject adds fault-injection runs (arch-state comparison only).
+	Inject bool
+	// Mutate, when non-nil, is applied to every captured State before
+	// comparison. It exists so tests can plant a synthetic semantics bug
+	// and prove the oracle catches it and the shrinker reduces it; it has
+	// no production use.
+	Mutate func(st *State)
+}
+
+// CheckProgram runs p through the full configuration matrix and returns the
+// first divergence, or nil if every comparison passed.
+//
+// Runs that exhaust the instruction budget return no verdict (nil): budget
+// exhaustion is checked at dispatch boundaries, which fall at different
+// retirement counts per configuration, so final states are incomparable.
+// Pristine generated programs always halt well inside the budget (the
+// generator tests assert this); only degenerate shrink candidates get here.
+func CheckProgram(p *Program, opts CheckOptions) *Divergence {
+	base := OracleConfig()
+
+	run := func(name string, mod func(*cms.Config), sched *Schedule) *State {
+		cfg := base
+		if mod != nil {
+			mod(&cfg)
+		}
+		st := RunProgram(p, name, cfg, sched)
+		if opts.Mutate != nil {
+			opts.Mutate(st)
+		}
+		return st
+	}
+
+	interp := run("interp", func(c *cms.Config) { c.NoTranslate = true }, nil)
+	xlate := run("xlate", func(c *cms.Config) { c.EnableCompiledBackend = false }, nil)
+	compiled := run("compiled", nil, nil)
+	pipe1 := run("pipe1", func(c *cms.Config) { c.PipelineWorkers = 1 }, nil)
+	pipe2 := run("pipe2", func(c *cms.Config) { c.PipelineWorkers = 2 }, nil)
+	store := tcache.NewShared(0)
+	shared := func(c *cms.Config) { c.SharedStore = store }
+	sharedA := run("sharedA", shared, nil)
+	sharedB := run("sharedB", shared, nil)
+
+	all := []*State{interp, xlate, compiled, pipe1, pipe2, sharedA, sharedB}
+	if opts.Inject {
+		all = append(all,
+			run("inj-xlate", func(c *cms.Config) { c.EnableCompiledBackend = false }, NewSchedule(p.Seed)),
+			run("inj-compiled", nil, NewSchedule(p.Seed^0xA5A5)),
+		)
+	}
+
+	for _, st := range all {
+		if strings.Contains(st.Err, "budget exhausted") {
+			return nil
+		}
+	}
+
+	for _, st := range all[1:] {
+		if d := DiffArch(interp, st); d != "" {
+			return &Divergence{Seed: p.Seed, Field: "arch", A: interp.Name, B: st.Name, Detail: d}
+		}
+	}
+	for _, st := range []*State{compiled, sharedA, sharedB} {
+		if d := DiffMetrics(xlate, st); d != "" {
+			return &Divergence{Seed: p.Seed, Field: "metrics", A: xlate.Name, B: st.Name, Detail: d}
+		}
+	}
+	if d := DiffMetrics(pipe1, pipe2); d != "" {
+		return &Divergence{Seed: p.Seed, Field: "metrics", A: pipe1.Name, B: pipe2.Name, Detail: d}
+	}
+	return nil
+}
+
+// CheckSeed generates the program for seed and runs the oracle on it.
+func CheckSeed(seed uint64, cfg GenConfig, opts CheckOptions) (*Program, *Divergence) {
+	p, err := Build(seed, cfg, nil)
+	if err != nil {
+		// Pristine generation can never produce an invalid program; a link
+		// failure is a generator bug and must surface loudly.
+		panic(err)
+	}
+	return p, CheckProgram(p, opts)
+}

@@ -1,0 +1,193 @@
+package fuzzer
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cms/internal/guest"
+)
+
+// oracleSeeds is how many generated programs TestOracle pushes through the
+// full configuration matrix (7 runs each). -short trims it for quick edits.
+const oracleSeeds = 500
+
+// TestOracle is the differential oracle over generated programs: every
+// seed's program runs under pure interpretation, synchronous translation
+// with both backends, the pipelined engine at two worker counts, and a
+// shared-store pair, and must produce byte-identical architectural state
+// everywhere plus identical Metrics within each equivalence class.
+func TestOracle(t *testing.T) {
+	n := uint64(oracleSeeds)
+	if testing.Short() {
+		n = 60
+	}
+	for seed := uint64(1); seed <= n; seed++ {
+		_, d := CheckSeed(seed, GenConfig{}, CheckOptions{})
+		if d != nil {
+			t.Fatal(d.Error())
+		}
+	}
+}
+
+// TestOracleInjection repeats the oracle with fault-injection schedules
+// armed: forced rollbacks, synthesized alias faults, forced evictions at
+// commit boundaries, and forced protection hits on stores. The injected
+// runs must still reach the same final guest state — that is the paper's
+// recovery contract under adversarial conditions.
+func TestOracleInjection(t *testing.T) {
+	n := uint64(120)
+	if testing.Short() {
+		n = 30
+	}
+	for seed := uint64(1); seed <= n; seed++ {
+		p, d := CheckSeed(seed, GenConfig{}, CheckOptions{Inject: true})
+		if d != nil {
+			t.Fatal(d.Error())
+		}
+		if p.BodyInsns == 0 {
+			t.Fatalf("seed %d: degenerate program", seed)
+		}
+	}
+}
+
+// containsOp reports whether any surviving fragment uses op.
+func containsOp(p *Program, ops ...guest.Op) bool {
+	for _, f := range p.frags {
+		for _, s := range f.body {
+			for _, op := range ops {
+				if s.in.Op == op {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TestOracleCatchesMutation is the mutation test for the oracle itself: a
+// synthetic semantics bug — "the compiled backend mishandles SBB" — is
+// planted via the Mutate hook, the oracle must catch it, the shrinker must
+// reduce the failing program to a minimal reproducer (<= 32 body
+// instructions), and the reproducer must survive a write/load/replay
+// round trip.
+func TestOracleCatchesMutation(t *testing.T) {
+	sbb := func(p *Program) bool {
+		return containsOp(p, guest.OpSBBrr, guest.OpSBBri)
+	}
+	failingOpts := func(p *Program) CheckOptions {
+		if !sbb(p) {
+			return CheckOptions{}
+		}
+		return CheckOptions{Mutate: func(st *State) {
+			if st.Name == "compiled" {
+				st.Regs[guest.EBX] ^= 0x40 // the planted wrong result
+			}
+		}}
+	}
+
+	// Find a seed whose program uses SBB.
+	var victim *Program
+	for seed := uint64(1); seed <= 200; seed++ {
+		p := MustBuild(seed, GenConfig{})
+		if sbb(p) {
+			victim = p
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no SBB-bearing program in 200 seeds; generator weights changed?")
+	}
+
+	d := CheckProgram(victim, failingOpts(victim))
+	if d == nil {
+		t.Fatal("oracle missed the planted mutation")
+	}
+	if d.Field != "arch" {
+		t.Fatalf("wrong divergence field %q", d.Field)
+	}
+
+	fails := func(p *Program) bool {
+		return CheckProgram(p, failingOpts(p)) != nil
+	}
+	small := Shrink(victim, fails, 150)
+	if !fails(small) {
+		t.Fatal("shrunk program no longer fails")
+	}
+	if small.BodyInsns > 32 {
+		t.Fatalf("shrunk reproducer too large: %d body insns (want <= 32)", small.BodyInsns)
+	}
+	t.Logf("shrunk seed %#x: %d -> %d body insns, %d edits",
+		small.Seed, victim.BodyInsns, small.BodyInsns, len(small.Edits))
+
+	// Round-trip through the reproducer format.
+	path := filepath.Join(t.TempDir(), "repro.txt")
+	if err := WriteReproducer(path, small, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReproducer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fails(back) {
+		t.Fatal("reloaded reproducer no longer fails")
+	}
+}
+
+// TestCorpusReplay regenerates and re-checks every reproducer in
+// testdata/corpus. The corpus holds shrunk programs from past findings (and
+// one seed archived at introduction); each must still build bit-identically
+// and pass the oracle.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty corpus: testdata/corpus should hold at least one entry")
+	}
+	for _, path := range entries {
+		p, err := LoadReproducer(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if d := CheckProgram(p, CheckOptions{Inject: true}); d != nil {
+			t.Errorf("%s: %s", path, d.Error())
+		}
+	}
+}
+
+// TestScheduleProgress: a schedule never forces protection hits on
+// consecutive checks, the invariant that keeps resolve-retry loops finite.
+func TestScheduleProgress(t *testing.T) {
+	s := NewSchedule(7)
+	prev := false
+	for i := 0; i < 10_000; i++ {
+		hit := s.ForceProtHit(0x1000, 4, 0)
+		if hit && prev {
+			t.Fatal("consecutive forced protection hits")
+		}
+		prev = hit
+	}
+}
+
+// TestWriteReproducerSmoke writes a pristine program's reproducer and loads
+// it back, exercising the no-edit path.
+func TestWriteReproducerSmoke(t *testing.T) {
+	p := MustBuild(42, GenConfig{})
+	path := filepath.Join(t.TempDir(), "seed42.txt")
+	if err := WriteReproducer(path, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReproducer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.BodyInsns != p.BodyInsns {
+		t.Fatalf("round trip changed body size: %d vs %d", back.BodyInsns, p.BodyInsns)
+	}
+	data, _ := os.ReadFile(path)
+	if len(data) == 0 {
+		t.Fatal("empty reproducer")
+	}
+}

@@ -1,0 +1,131 @@
+package fuzzer
+
+// Edit is one shrink step against the generated fragment list: remove a
+// whole fragment (Insn == -1) or a single instruction. Edits index the
+// ORIGINAL (unedited) generation of the seed, so a reproducer is fully
+// described by (seed, config, edits) — the image is regenerated, the edits
+// replayed, and the fragments relinked.
+type Edit struct {
+	Frag int
+	Insn int // -1 = whole fragment
+}
+
+// Program is a generated guest image plus everything needed to regenerate
+// it: Build(p.Seed, p.Cfg, p.Edits) reproduces Image bit-for-bit.
+type Program struct {
+	Seed  uint64
+	Cfg   GenConfig
+	Edits []Edit
+
+	Org    uint32
+	Entry  uint32
+	RAM    uint32
+	Budget uint64
+	Image  []byte
+
+	// BodyInsns counts instructions in removable (non-scaffolding)
+	// fragments — the shrink metric reported for reproducers.
+	BodyInsns int
+
+	frags []*frag
+}
+
+// Build generates the program for seed under cfg, applies the shrink edits,
+// and links the surviving fragments. An edit that would break program
+// structure (removing scaffolding, a core instruction, a label definition,
+// or a fragment another surviving fragment depends on) is an error: the
+// shrinker never proposes one, so hitting this means a corrupt reproducer.
+func Build(seed uint64, cfg GenConfig, edits []Edit) (*Program, error) {
+	cfg = cfg.normalized(seed)
+	full := generate(seed, cfg)
+
+	dropFrag := make(map[int]bool)
+	dropIns := make(map[int]map[int]bool)
+	for _, e := range edits {
+		if e.Frag < 0 || e.Frag >= len(full) {
+			return nil, &linkError{"edit: fragment index out of range"}
+		}
+		f := full[e.Frag]
+		if e.Insn == -1 {
+			if f.keep {
+				return nil, &linkError{"edit: cannot remove scaffolding fragment " + f.label}
+			}
+			dropFrag[e.Frag] = true
+			continue
+		}
+		if f.data != nil || e.Insn < 0 || e.Insn >= len(f.body) {
+			return nil, &linkError{"edit: instruction index out of range in " + f.label}
+		}
+		s := f.body[e.Insn]
+		if s.core || s.label != "" {
+			return nil, &linkError{"edit: cannot remove core instruction in " + f.label}
+		}
+		if dropIns[e.Frag] == nil {
+			dropIns[e.Frag] = make(map[int]bool)
+		}
+		dropIns[e.Frag][e.Insn] = true
+	}
+
+	byLabel := make(map[string]int, len(full))
+	for i, f := range full {
+		byLabel[f.label] = i
+	}
+	var kept []*frag
+	for i, f := range full {
+		if dropFrag[i] {
+			continue
+		}
+		for _, d := range f.deps {
+			if j, ok := byLabel[d]; ok && dropFrag[j] {
+				return nil, &linkError{"edit: " + f.label + " depends on removed " + d}
+			}
+		}
+		if di := dropIns[i]; di != nil {
+			cp := *f
+			cp.body = nil
+			for k := range f.body {
+				if !di[k] {
+					cp.body = append(cp.body, f.body[k])
+				}
+			}
+			kept = append(kept, &cp)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+
+	image, labels, err := link(progOrg, kept)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Seed:   seed,
+		Cfg:    cfg,
+		Edits:  edits,
+		Org:    progOrg,
+		Entry:  labels["entry"],
+		RAM:    progRAM,
+		Budget: defaultBudget,
+		Image:  image,
+		frags:  kept,
+	}
+	for _, f := range kept {
+		if !f.keep && f.data == nil {
+			p.BodyInsns += len(f.body)
+		}
+	}
+	return p, nil
+}
+
+// MustBuild is Build for pristine (edit-free) generation, where the
+// generator guarantees success.
+func MustBuild(seed uint64, cfg GenConfig) *Program {
+	p, err := Build(seed, cfg, nil)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disasm renders the program listing for reproducers.
+func (p *Program) Disasm() []string { return disasm(p.Org, p.frags, p.Image) }

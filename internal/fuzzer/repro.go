@@ -1,0 +1,163 @@
+package fuzzer
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Reproducers are small text files: the seed, the generation config, and
+// the shrink edits — everything Build needs to regenerate the failing image
+// bit-for-bit — plus a hash that proves the regeneration matched and a
+// commented listing for human readers. They live in testdata/corpus/ and
+// are replayed by TestCorpusReplay and `cmsfuzz -replay`.
+
+// WriteReproducer writes p (and the divergence that condemned it) to path.
+func WriteReproducer(path string, p *Program, d *Divergence) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# g86 fuzzer reproducer — replay with: cmsfuzz -replay %s\n", path)
+	if d != nil {
+		for _, line := range strings.Split(d.Error(), "\n") {
+			fmt.Fprintf(&b, "# %s\n", line)
+		}
+	}
+	fmt.Fprintf(&b, "seed %#x\n", p.Seed)
+	fmt.Fprintf(&b, "frags %d\n", p.Cfg.Frags)
+	fmt.Fprintf(&b, "outer %d\n", p.Cfg.Outer)
+	var gates []string
+	if p.Cfg.NoSMC {
+		gates = append(gates, "nosmc")
+	}
+	if p.Cfg.NoIRQ {
+		gates = append(gates, "noirq")
+	}
+	if p.Cfg.NoMMIO {
+		gates = append(gates, "nommio")
+	}
+	if p.Cfg.NoFault {
+		gates = append(gates, "nofault")
+	}
+	if len(gates) > 0 {
+		fmt.Fprintf(&b, "gates %s\n", strings.Join(gates, ","))
+	}
+	for _, e := range p.Edits {
+		fmt.Fprintf(&b, "edit %d %d\n", e.Frag, e.Insn)
+	}
+	sum := sha256.Sum256(p.Image)
+	fmt.Fprintf(&b, "sha256 %s\n", hex.EncodeToString(sum[:]))
+	fmt.Fprintf(&b, "# %d body instructions after shrink\n", p.BodyInsns)
+	for _, line := range p.Disasm() {
+		fmt.Fprintf(&b, "%s\n", line)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// LoadReproducer regenerates the program described by the file at path and
+// verifies the image hash, so a stale corpus entry (one whose generator
+// output drifted) fails loudly instead of silently testing something else.
+func LoadReproducer(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var (
+		seed     uint64
+		cfg      GenConfig
+		edits    []Edit
+		wantSum  string
+		haveSeed bool
+	)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func() error {
+			return fmt.Errorf("fuzzer: %s: malformed line %q", path, line)
+		}
+		switch fields[0] {
+		case "seed":
+			if len(fields) != 2 {
+				return nil, bad()
+			}
+			v, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+			if err != nil {
+				return nil, bad()
+			}
+			seed, haveSeed = v, true
+		case "frags", "outer":
+			if len(fields) != 2 {
+				return nil, bad()
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, bad()
+			}
+			if fields[0] == "frags" {
+				cfg.Frags = v
+			} else {
+				cfg.Outer = v
+			}
+		case "gates":
+			if len(fields) != 2 {
+				return nil, bad()
+			}
+			for _, g := range strings.Split(fields[1], ",") {
+				switch g {
+				case "nosmc":
+					cfg.NoSMC = true
+				case "noirq":
+					cfg.NoIRQ = true
+				case "nommio":
+					cfg.NoMMIO = true
+				case "nofault":
+					cfg.NoFault = true
+				default:
+					return nil, bad()
+				}
+			}
+		case "edit":
+			if len(fields) != 3 {
+				return nil, bad()
+			}
+			fr, err1 := strconv.Atoi(fields[1])
+			in, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, bad()
+			}
+			edits = append(edits, Edit{Frag: fr, Insn: in})
+		case "sha256":
+			if len(fields) != 2 {
+				return nil, bad()
+			}
+			wantSum = fields[1]
+		default:
+			return nil, bad()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !haveSeed {
+		return nil, fmt.Errorf("fuzzer: %s: no seed line", path)
+	}
+	p, err := Build(seed, cfg, edits)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzer: %s: %w", path, err)
+	}
+	if wantSum != "" {
+		sum := sha256.Sum256(p.Image)
+		if hex.EncodeToString(sum[:]) != wantSum {
+			return nil, fmt.Errorf("fuzzer: %s: regenerated image hash mismatch (stale reproducer?)", path)
+		}
+	}
+	return p, nil
+}

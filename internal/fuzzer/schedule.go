@@ -1,0 +1,69 @@
+package fuzzer
+
+import (
+	"cms/internal/cms"
+	"cms/internal/mem"
+)
+
+// Schedule is a replayable fault-injection plan derived from a seed. It
+// implements cms.Injector for the engine's commit-boundary hook and exposes
+// ForceProtHit for the bus hook: together they force every recovery path —
+// spurious rollbacks, synthesized alias faults, mid-chain evictions, and
+// protection hits on arbitrary stores — at deterministic points.
+//
+// The injected events must be invisible in final guest state: they ride the
+// same recovery machinery real faults do, so an injected run is compared
+// architecturally against an uninjected baseline.
+type Schedule struct {
+	period uint64 // commit boundaries between injections (>= 2)
+	count  uint64
+	ai     int
+
+	protPeriod uint64 // CheckProt consults between forced hits (>= 3)
+	protCount  uint64
+	protFired  bool // last consult fired; never fire twice in a row
+
+	actions [3]cms.InjectAction
+}
+
+// NewSchedule derives a schedule from seed. Periods are kept >= 3 and hits
+// never fire consecutively, so the engine's resolve-and-retry loops always
+// make progress between injections.
+func NewSchedule(seed uint64) *Schedule {
+	r := rng{s: seed ^ 0xD1B54A32D192ED03}
+	s := &Schedule{
+		period:     uint64(4 + r.n(6)),
+		protPeriod: uint64(5 + r.n(7)),
+		actions:    [3]cms.InjectAction{cms.InjectRollback, cms.InjectAliasFault, cms.InjectEvict},
+	}
+	// Seed-dependent rotation so different seeds lead with different events.
+	s.ai = r.n(3)
+	return s
+}
+
+// TexecBoundary implements cms.Injector.
+func (s *Schedule) TexecBoundary(entry uint32, retired uint64) cms.InjectAction {
+	s.count++
+	if s.count%s.period != 0 {
+		return cms.InjectNone
+	}
+	a := s.actions[s.ai%len(s.actions)]
+	s.ai++
+	return a
+}
+
+// ForceProtHit is installed as mem.Bus.ForceProtHit. It fires on every
+// protPeriod-th protection check, never consecutively: the retried store
+// must pass on its second attempt or the engine would spin.
+func (s *Schedule) ForceProtHit(addr uint32, size int, src mem.WriteSource) bool {
+	s.protCount++
+	if s.protFired {
+		s.protFired = false
+		return false
+	}
+	if s.protCount%s.protPeriod != 0 {
+		return false
+	}
+	s.protFired = true
+	return true
+}

@@ -1,0 +1,96 @@
+package fuzzer
+
+// Shrink reduces a failing program to a minimal reproducer. It works on the
+// edit list — fragments first, then individual instructions — so the result
+// is still fully described by (seed, config, edits) and regenerates
+// bit-for-bit. fails must report whether a candidate still exhibits the
+// failure; maxAttempts caps how many candidates are evaluated (each
+// evaluation is a full oracle matrix, so this bounds shrink cost).
+//
+// Structural elements are never candidates: scaffolding fragments, core
+// instructions, label-carrying instructions, and fragments that surviving
+// fragments depend on all stay, which is what guarantees every candidate
+// still terminates deterministically.
+func Shrink(p *Program, fails func(*Program) bool, maxAttempts int) *Program {
+	if maxAttempts <= 0 {
+		maxAttempts = 200
+	}
+	full := generate(p.Seed, p.Cfg)
+	edits := append([]Edit(nil), p.Edits...)
+	best := p
+	attempts := 0
+
+	try := func(extra Edit) bool {
+		if attempts >= maxAttempts {
+			return false
+		}
+		next := append(append([]Edit(nil), edits...), extra)
+		cand, err := Build(p.Seed, p.Cfg, next)
+		if err != nil {
+			return false
+		}
+		attempts++
+		if !fails(cand) {
+			return false
+		}
+		edits = next
+		best = cand
+		return true
+	}
+
+	for {
+		progress := false
+
+		// Phase 1: drop whole fragments. Dependency targets (call
+		// subroutines) become candidates once their last caller is gone,
+		// which the next round picks up.
+		removed := make(map[int]bool)
+		for _, e := range edits {
+			if e.Insn == -1 {
+				removed[e.Frag] = true
+			}
+		}
+		depended := make(map[string]bool)
+		for i, f := range full {
+			if removed[i] {
+				continue
+			}
+			for _, d := range f.deps {
+				depended[d] = true
+			}
+		}
+		for i, f := range full {
+			if removed[i] || f.keep || f.data != nil || depended[f.label] {
+				continue
+			}
+			if try(Edit{Frag: i, Insn: -1}) {
+				removed[i] = true
+				progress = true
+			}
+		}
+
+		// Phase 2: drop individual instructions from surviving fragments.
+		dropped := make(map[Edit]bool)
+		for _, e := range edits {
+			dropped[e] = true
+		}
+		for i, f := range full {
+			if removed[i] || f.keep || f.data != nil {
+				continue
+			}
+			for k := range f.body {
+				s := &f.body[k]
+				if s.core || s.label != "" || dropped[Edit{Frag: i, Insn: k}] {
+					continue
+				}
+				if try(Edit{Frag: i, Insn: k}) {
+					progress = true
+				}
+			}
+		}
+
+		if !progress || attempts >= maxAttempts {
+			return best
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package fuzzer
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+
+	"cms/internal/cms"
+	"cms/internal/dev"
+	"cms/internal/guest"
+	"cms/internal/tcache"
+)
+
+// State is the complete observable outcome of one run of a generated
+// program under one engine configuration: final architectural state, every
+// externally visible side effect, and the simulated performance counters.
+type State struct {
+	Name string // configuration label
+
+	Regs   [guest.NumRegs]uint32
+	EIP    uint32
+	Flags  uint32
+	Halted bool
+	Err    string // engine error, "" for a clean halt
+
+	Console string // serial port output, in emission order
+	Text    string // MMIO text buffer contents
+	Mem     []byte // full guest RAM image
+
+	Metrics cms.Metrics
+	Cache   tcache.Stats
+}
+
+// RunProgram executes p under cfg and captures the outcome. sched, when
+// non-nil, arms the fault-injection hooks on both the engine and the bus.
+func RunProgram(p *Program, name string, cfg cms.Config, sched *Schedule) *State {
+	plat := dev.NewPlatform(p.RAM, nil)
+	plat.Bus.WriteRaw(p.Org, p.Image)
+	if sched != nil {
+		cfg.Injector = sched
+		plat.Bus.ForceProtHit = sched.ForceProtHit
+	}
+	e := cms.New(plat, p.Entry, cfg)
+	return Capture(name, e, plat, e.Run(p.Budget))
+}
+
+// Capture snapshots a finished engine run into a State. It is shared by the
+// oracle and by the backend/farm differential tests, so every differential
+// in the repo compares the same set of observables the same way.
+func Capture(name string, e *cms.Engine, plat *dev.Platform, err error) *State {
+	cpu := e.CPU()
+	st := &State{
+		Name:    name,
+		Regs:    cpu.Regs,
+		EIP:     cpu.EIP,
+		Flags:   cpu.Flags,
+		Halted:  cpu.Halted,
+		Console: plat.Console.OutputString(),
+		Text:    string(plat.Console.Text()),
+		Mem:     plat.Bus.ReadRaw(0, int(plat.Bus.RAMSize())),
+		Metrics: e.Metrics,
+		Cache:   e.Cache.Stats,
+	}
+	if err != nil {
+		st.Err = err.Error()
+	}
+	return st
+}
+
+// DiffArch compares everything the guest can observe: registers, flags,
+// halt/error status, console and MMIO output, and the full memory image.
+// It returns "" when identical, else a one-line description of the first
+// difference.
+func DiffArch(a, b *State) string {
+	if a.Halted != b.Halted {
+		return fmt.Sprintf("halted: %s=%v %s=%v", a.Name, a.Halted, b.Name, b.Halted)
+	}
+	if a.Err != b.Err {
+		return fmt.Sprintf("err: %s=%q %s=%q", a.Name, a.Err, b.Name, b.Err)
+	}
+	if a.Regs != b.Regs {
+		for i := range a.Regs {
+			if a.Regs[i] != b.Regs[i] {
+				return fmt.Sprintf("reg %s: %s=%#x %s=%#x", guest.Reg(i), a.Name, a.Regs[i], b.Name, b.Regs[i])
+			}
+		}
+	}
+	if a.EIP != b.EIP {
+		return fmt.Sprintf("eip: %s=%#x %s=%#x", a.Name, a.EIP, b.Name, b.EIP)
+	}
+	if a.Flags != b.Flags {
+		return fmt.Sprintf("flags: %s=%#x %s=%#x", a.Name, a.Flags, b.Name, b.Flags)
+	}
+	if a.Console != b.Console {
+		return fmt.Sprintf("console: %s=%q %s=%q", a.Name, a.Console, b.Name, b.Console)
+	}
+	if a.Text != b.Text {
+		return fmt.Sprintf("mmio text differs (%s vs %s)", a.Name, b.Name)
+	}
+	if !bytes.Equal(a.Mem, b.Mem) {
+		for i := range a.Mem {
+			if a.Mem[i] != b.Mem[i] {
+				return fmt.Sprintf("mem[%#x]: %s=%#x %s=%#x", i, a.Name, a.Mem[i], b.Name, b.Mem[i])
+			}
+		}
+	}
+	return ""
+}
+
+// DiffMetrics compares the simulated performance counters and translation
+// cache statistics — valid only between configurations in the same metrics
+// equivalence class (see oracle.go).
+func DiffMetrics(a, b *State) string {
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		return fmt.Sprintf("metrics: %s=%+v\n%s=%+v", a.Name, a.Metrics, b.Name, b.Metrics)
+	}
+	if a.Cache != b.Cache {
+		return fmt.Sprintf("cache stats: %s=%+v %s=%+v", a.Name, a.Cache, b.Name, b.Cache)
+	}
+	return ""
+}

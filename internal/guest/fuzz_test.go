@@ -1,0 +1,58 @@
+package guest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEncodeRoundtrip asserts the ISA codec's canonicality contract:
+// any byte string the decoder accepts re-encodes to exactly the bytes it
+// consumed, and re-decodes to the identical Insn. (The translator, the
+// fuzzer's linker, and the SMC machinery all rely on decode→encode being
+// lossless; non-canonical accepted encodings would let a guest image drift
+// through a retranslation.)
+func FuzzDecodeEncodeRoundtrip(f *testing.F) {
+	// Seed with one real encoding per format class.
+	seeds := []Insn{
+		{Op: OpNOP},
+		{Op: OpMOVri, Dst: EBX, Imm: 0xDEADBEEF},
+		{Op: OpADDrr, Dst: EAX, Src: ESI},
+		{Op: OpSHLri, Dst: ECX, Imm: 7},
+		{Op: OpMOVrm, Dst: EDX, Mem: MemOperand{HasBase: true, Base: EBP, Disp: 0x1234}},
+		{Op: OpMOVmr, Src: EDI, Mem: MemOperand{HasBase: true, Base: EBX, HasIndex: true, Index: ESI, ScaleLog: 2, Disp: 8}},
+		{Op: OpMOVmi, Mem: MemOperand{Disp: 0x70000}, Imm: 42},
+		{Op: OpJMPrel, Imm: 0xFFFFFFF0},
+		{Op: OpJccBase + Op(CondNE), Imm: 16},
+		{Op: OpCALLr, Dst: EBP},
+		{Op: OpINT, Imm: 48},
+		{Op: OpIN, Dst: EAX, Imm: 0x3F9},
+		{Op: OpOUT, Imm: 0x3F8, Src: ECX},
+		{Op: OpPUSHi, Imm: 0x55AA55AA},
+	}
+	for _, in := range seeds {
+		f.Add(Encode(nil, in))
+	}
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Decode(data, 0x1000)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if in.Len == 0 || int(in.Len) > len(data) {
+			t.Fatalf("decoded Len %d out of range (input %d bytes)", in.Len, len(data))
+		}
+		enc := Encode(nil, in)
+		if !bytes.Equal(enc, data[:in.Len]) {
+			t.Fatalf("non-canonical encoding accepted: in=% x out=% x (%v)", data[:in.Len], enc, in)
+		}
+		in2, err := Decode(enc, 0x1000)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v (bytes % x)", err, enc)
+		}
+		if in != in2 {
+			t.Fatalf("decode/encode/decode not identity:\n first %+v\nsecond %+v", in, in2)
+		}
+	})
+}

@@ -142,6 +142,17 @@ type Bus struct {
 	// fine-grain state (to keep demand paging cheap).
 	DMAInvalidate func(page uint32)
 
+	// ForceProtHit, if non-nil, lets a fault-injection harness make
+	// CheckProt report a hit for a write it would otherwise pass. A forced
+	// hit is indistinguishable from a real one to every consumer (the
+	// protection response re-checks and retries, so a spurious hit costs
+	// work but never changes guest state — "conservative but never wrong").
+	// Implementations must be deterministic and must not fire on
+	// consecutive CheckProt calls, or the resolve-and-retry loop around a
+	// single store could spin forever. While set, FastWrite declines every
+	// access so all stores reach the checked path.
+	ForceProtHit func(addr uint32, size int, src WriteSource) bool
+
 	// Stats accumulates bus-level protection events.
 	Stats BusStats
 }
@@ -294,6 +305,9 @@ func (b *Bus) FastRead(addr, size uint32) bool {
 // page with no CMS write protection, where CheckWrite and CheckProt both
 // return nil with no side effects.
 func (b *Bus) FastWrite(addr, size uint32) bool {
+	if b.ForceProtHit != nil {
+		return false
+	}
 	p := addr >> PageShift
 	return p < uint32(len(b.attrs)) && (addr+size-1)>>PageShift == p &&
 		b.attrs[p]&(AttrPresent|AttrMMIO|AttrWritable) == AttrPresent|AttrWritable &&
@@ -442,6 +456,9 @@ func (b *Bus) fgEvict(page uint32) {
 // hit (that is the whole point of fine-grain protection); a fine-grain cache
 // miss is charged to Stats.FineGrainRefills.
 func (b *Bus) CheckProt(addr uint32, size int, src WriteSource) *ProtHit {
+	if b.ForceProtHit != nil && b.ForceProtHit(addr, size, src) {
+		return &ProtHit{Addr: addr, Size: size, Src: src}
+	}
 	first, last := PageOf(addr), PageOf(addr+uint32(size)-1)
 	for p := first; p <= last && p < uint32(len(b.protected)); p++ {
 		if !b.protected[p] {
