@@ -14,7 +14,12 @@
 //	cmsbench -baseline BENCH_PR1.json
 //	                         # measure and diff against a committed record;
 //	                         # exits non-zero on a >10% wall-clock regression
+//	                         # or a multicore scaling-efficiency regression
 //	                         # (combine with -json FILE to also write a record)
+//	cmsbench -exp farmscale -farmvms 1,4,8 -farmjobs 500
+//	                         # sustained-load multicore sweep: GOMAXPROCS is
+//	                         # pinned to each level's VM count; warns loudly
+//	                         # when effective parallelism is 1
 //	cmsbench -cpuprofile p.out -json FILE
 //	                         # capture a pprof CPU profile of the measurement
 package main
@@ -25,6 +30,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"cms/internal/bench"
 	"cms/internal/workload"
@@ -35,16 +42,45 @@ import (
 // jitter is expected, but a real backend regression is not.
 const regressionTolerancePct = 10.0
 
+// scalingToleranceEff is the absolute scaling-efficiency drop -baseline
+// allows per VM level before it fails the run (efficiency is a 0..1 ratio;
+// 0.10 absorbs scheduler jitter without waving through a lost core).
+const scalingToleranceEff = 0.10
+
+// parseLevels parses a "1,4,8"-style VM-level list.
+func parseLevels(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad VM level %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults, farm")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults, farm, farmscale")
 	wl := flag.String("workload", "win98_boot", "workload for the flow/chain experiments")
 	list := flag.Bool("list", false, "list the benchmark suite and exit")
 	jsonPath := flag.String("json", "", "measure wall-clock perf over the hot kernels and write a JSON record to this file")
 	runs := flag.Int("runs", 3, "runs per workload for -json (best-of)")
 	baseline := flag.String("baseline", "", "committed BENCH_*.json to diff the -json measurement against; exit non-zero on regression")
+	farmJobs := flag.Int("farmjobs", 0, "jobs per level for -exp farmscale (0 = default)")
+	farmVMs := flag.String("farmvms", "", "comma-separated VM levels for -exp farmscale, e.g. 1,4,8 (empty = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	levels, err := parseLevels(*farmVMs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmsbench: -farmvms: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -87,6 +123,9 @@ func main() {
 			}
 			defer f.Close()
 		}
+		if bench.SerialFarmRun() {
+			bench.WarnSerialFarm(os.Stderr)
+		}
 		rec, err := bench.Perf(*runs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cmsbench: perf: %v\n", err)
@@ -103,6 +142,8 @@ func main() {
 				w.Name, float64(w.NsPerRun)/1e6, float64(w.NsPerRunPipelined)/1e6,
 				float64(w.NsPerRunInterp)/1e6, w.MguestPerSec)
 		}
+		fmt.Println()
+		bench.WriteFarmScale(os.Stdout, rec.FarmScale)
 		if *baseline != "" {
 			bf, err := os.Open(*baseline)
 			if err != nil {
@@ -125,9 +166,27 @@ func main() {
 				fmt.Printf("%-14s %10.3f ms -> %10.3f ms  %+7.1f%%\n",
 					d.Name, float64(d.BaseNs)/1e6, float64(d.CurNs)/1e6, d.Pct)
 			}
+			scaleDeltas, scaleRegressed, comparable := bench.CompareScaling(base, rec, scalingToleranceEff)
+			if comparable {
+				for _, d := range scaleDeltas {
+					mark := ""
+					if d.Regressed {
+						mark = "  REGRESSED"
+					}
+					fmt.Printf("scaling @%d VMs   %5.2fx -> %5.2fx%s\n", d.VMs, d.BaseEff, d.CurEff, mark)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "cmsbench: scaling-efficiency gate skipped: baseline or current record lacks a multicore farm_scale sweep\n")
+			}
 			if regressed {
 				fmt.Fprintf(os.Stderr, "cmsbench: wall-clock regression beyond %.0f%% vs %s\n",
 					regressionTolerancePct, *baseline)
+				pprof.StopCPUProfile()
+				os.Exit(2)
+			}
+			if scaleRegressed {
+				fmt.Fprintf(os.Stderr, "cmsbench: scaling efficiency regressed beyond %.2f vs %s\n",
+					scalingToleranceEff, *baseline)
 				pprof.StopCPUProfile()
 				os.Exit(2)
 			}
@@ -241,11 +300,25 @@ func main() {
 		return nil
 	})
 	run("farm", func() error {
+		if bench.SerialFarmRun() {
+			bench.WarnSerialFarm(os.Stderr)
+		}
 		rows, err := bench.FarmThroughput()
 		if err != nil {
 			return err
 		}
 		bench.WriteFarm(os.Stdout, rows)
+		return nil
+	})
+	run("farmscale", func() error {
+		if bench.SerialFarmRun() {
+			bench.WarnSerialFarm(os.Stderr)
+		}
+		rows, err := bench.FarmScale(levels, *farmJobs)
+		if err != nil {
+			return err
+		}
+		bench.WriteFarmScale(os.Stdout, rows)
 		return nil
 	})
 }

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"cms/internal/cms"
+	"cms/internal/farm"
+)
+
+// The farmscale experiment is the repo's multicore truth serum: it measures
+// whether the serving farm actually converts cores into throughput, or just
+// interleaves VMs on one core. Every level pins GOMAXPROCS to the level's
+// VM count, floods the farm with a sustained mixed-workload job stream, and
+// records aggregate throughput, per-core throughput, p50/p99 job latency,
+// and scaling efficiency — throughput at N effective cores divided by N
+// times the single-VM figure. BENCH_PR4.json's flat 1→8-VM curve (recorded
+// on num_cpu=1, which nothing warned about at the time) is exactly the
+// failure mode this experiment exists to expose and gate against.
+
+// FarmScaleLevels are the default concurrency levels: at each level the
+// farm runs N VM slots with GOMAXPROCS set to N.
+var FarmScaleLevels = []int{1, 2, 4, 8}
+
+// FarmScaleJobs is the default sustained-load job count per level — large
+// enough that queueing, store contention, and scheduler effects dominate
+// over startup transients.
+const FarmScaleJobs = 1000
+
+// FarmScalePerf is one level of the sustained-load sweep.
+type FarmScalePerf struct {
+	// VMs is the farm's concurrent VM slots; GOMAXPROCS is set to the same
+	// value for the level's duration.
+	VMs int `json:"vms"`
+	// EffectiveCores is min(VMs, NumCPU) — the parallelism the host can
+	// actually deliver. When this is 1 the level measures interleaving, not
+	// scaling, and the harness says so loudly.
+	EffectiveCores int   `json:"effective_cores"`
+	Jobs           int   `json:"jobs"`
+	WallNs         int64 `json:"wall_ns"`
+	// VMsPerSec is aggregate serving throughput: completed VM runs per
+	// wall-clock second across the whole farm.
+	VMsPerSec float64 `json:"vms_per_sec"`
+	// VMsPerSecPerCore normalizes throughput by EffectiveCores.
+	VMsPerSecPerCore float64 `json:"vms_per_sec_per_core"`
+	// P50Ns/P99Ns are submit-to-completion job latencies (queue wait
+	// included) over all jobs of the level.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// ScalingEfficiency is VMsPerSec divided by (EffectiveCores × the
+	// 1-VM level's VMsPerSec): 1.0 is perfect linear scaling, and on a
+	// single-core host it degenerates to ~1.0 by construction (throughput
+	// can only interleave). Zero when the sweep has no 1-VM level.
+	ScalingEfficiency float64 `json:"scaling_efficiency"`
+	DedupRatio        float64 `json:"dedup_ratio"`
+	StoreHits         uint64  `json:"store_hits"`
+	StoreMisses       uint64  `json:"store_misses"`
+}
+
+// FarmScale runs the sustained-load sweep: for each level N it sets
+// GOMAXPROCS=N, builds a fresh farm (cold shared store) with N VM slots,
+// floods it with `jobs` mixed-workload jobs, drains, and measures. The
+// previous GOMAXPROCS is restored before returning.
+func FarmScale(levels []int, jobs int) ([]FarmScalePerf, error) {
+	if len(levels) == 0 {
+		levels = FarmScaleLevels
+	}
+	if jobs <= 0 {
+		jobs = FarmScaleJobs
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var out []FarmScalePerf
+	for _, vms := range levels {
+		runtime.GOMAXPROCS(vms)
+		row, err := farmScaleLevel(vms, jobs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *row)
+	}
+	// Efficiency needs the 1-VM anchor; compute after the sweep so level
+	// order doesn't matter.
+	var base float64
+	for _, r := range out {
+		if r.VMs == 1 {
+			base = r.VMsPerSec
+			break
+		}
+	}
+	for i := range out {
+		if base > 0 {
+			out[i].ScalingEfficiency = out[i].VMsPerSec / (float64(out[i].EffectiveCores) * base)
+		}
+	}
+	return out, nil
+}
+
+func farmScaleLevel(vms, jobs int) (*FarmScalePerf, error) {
+	f := farm.New(farm.Config{
+		MaxVMs:     vms,
+		QueueDepth: jobs,
+		Engine:     cms.DefaultConfig(),
+	})
+	t0 := time.Now()
+	for i := 0; i < jobs; i++ {
+		name := FarmWorkloads[i%len(FarmWorkloads)]
+		if _, err := f.Submit(farm.JobSpec{Workload: name}); err != nil {
+			return nil, fmt.Errorf("bench: farmscale submit %s: %w", name, err)
+		}
+	}
+	f.Drain()
+	wall := time.Since(t0).Nanoseconds()
+
+	views := f.Jobs()
+	for _, j := range views {
+		if j.Status == farm.StatusFailed {
+			return nil, fmt.Errorf("bench: farmscale job %s (%s): %s", j.ID, j.Spec.Workload, j.Error)
+		}
+	}
+	p50, p99 := farm.LatencyPercentiles(views)
+	st := f.Stats()
+	eff := vms
+	if n := runtime.NumCPU(); eff > n {
+		eff = n
+	}
+	vmsPerSec := float64(jobs) / (float64(wall) / 1e9)
+	return &FarmScalePerf{
+		VMs:              vms,
+		EffectiveCores:   eff,
+		Jobs:             jobs,
+		WallNs:           wall,
+		VMsPerSec:        vmsPerSec,
+		VMsPerSecPerCore: vmsPerSec / float64(eff),
+		P50Ns:            p50,
+		P99Ns:            p99,
+		DedupRatio:       st.Store.DedupRatio(),
+		StoreHits:        st.Store.Hits + st.Store.Waits,
+		StoreMisses:      st.Store.Misses,
+	}, nil
+}
+
+// SerialFarmRun reports whether farm measurements taken right now can only
+// interleave, never parallelize: the condition that silently invalidated
+// the PR1→PR4 bench history (every record carried num_cpu=1 and nobody
+// noticed). Callers print WarnSerialFarm when it is true.
+func SerialFarmRun() bool {
+	return runtime.NumCPU() <= 1 || runtime.GOMAXPROCS(0) <= 1
+}
+
+// WarnSerialFarm prints the loud version of SerialFarmRun's verdict.
+func WarnSerialFarm(w io.Writer) {
+	fmt.Fprintf(w, `
+********************************************************************************
+* WARNING: effective parallelism is 1 (NumCPU=%d, GOMAXPROCS=%d).
+* Farm throughput below measures INTERLEAVING, not multicore scaling: VMs/sec
+* will be flat across VM counts and scaling efficiency is meaningless. Re-run
+* on a multicore host before drawing any serving-scalability conclusion.
+********************************************************************************
+`, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+}
+
+// WriteFarmScale renders the sweep as a text table.
+func WriteFarmScale(w io.Writer, rows []FarmScalePerf) {
+	fmt.Fprintf(w, "Sustained farm load: %v jobs/level over %v, fresh sharded store per level\n",
+		rowsJobs(rows), FarmWorkloads)
+	fmt.Fprintf(w, "%4s %6s %6s %12s %10s %10s %10s %10s %7s %7s\n",
+		"vms", "cores", "jobs", "wall ms", "VMs/sec", "VMs/s/core", "p50 ms", "p99 ms", "effic", "dedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %6d %6d %12.1f %10.2f %10.2f %10.2f %10.2f %6.2fx %6.1f%%\n",
+			r.VMs, r.EffectiveCores, r.Jobs, float64(r.WallNs)/1e6, r.VMsPerSec,
+			r.VMsPerSecPerCore, float64(r.P50Ns)/1e6, float64(r.P99Ns)/1e6,
+			r.ScalingEfficiency, 100*r.DedupRatio)
+	}
+}
+
+func rowsJobs(rows []FarmScalePerf) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return rows[0].Jobs
+}
+
+// ScalingDelta is one level's efficiency change against a baseline record.
+type ScalingDelta struct {
+	VMs       int
+	BaseEff   float64
+	CurEff    float64
+	Regressed bool
+}
+
+// CompareScaling gates on multicore scaling efficiency: for every VM level
+// present in both records, the current efficiency must not fall more than
+// tol (absolute, e.g. 0.10) below the baseline's. Records measured with
+// effective parallelism 1 — on either side — are incomparable: efficiency
+// degenerates to ~1.0 on a serial host, so gating there would wave through
+// exactly the regressions this gate exists to catch. In that case (or when
+// either record predates farm_scale) CompareScaling returns ok=false and
+// the caller warns instead of gating.
+func CompareScaling(base, cur *PerfRecord, tol float64) (deltas []ScalingDelta, regressed, ok bool) {
+	if len(base.FarmScale) == 0 || len(cur.FarmScale) == 0 {
+		return nil, false, false
+	}
+	if maxEffectiveCores(base.FarmScale) <= 1 || maxEffectiveCores(cur.FarmScale) <= 1 {
+		return nil, false, false
+	}
+	baseBy := make(map[int]FarmScalePerf, len(base.FarmScale))
+	for _, r := range base.FarmScale {
+		baseBy[r.VMs] = r
+	}
+	for _, r := range cur.FarmScale {
+		b, found := baseBy[r.VMs]
+		if !found || r.VMs == 1 {
+			continue // efficiency at the 1-VM anchor is 1.0 by definition
+		}
+		d := ScalingDelta{VMs: r.VMs, BaseEff: b.ScalingEfficiency, CurEff: r.ScalingEfficiency}
+		d.Regressed = b.ScalingEfficiency-r.ScalingEfficiency > tol
+		if d.Regressed {
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, regressed, true
+}
+
+func maxEffectiveCores(rows []FarmScalePerf) int {
+	max := 0
+	for _, r := range rows {
+		if r.EffectiveCores > max {
+			max = r.EffectiveCores
+		}
+	}
+	return max
+}

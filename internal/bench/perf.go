@@ -40,15 +40,25 @@ type WorkloadPerf struct {
 // PerfRecord is the machine-readable perf snapshot cmsbench -json emits;
 // committed BENCH_*.json files track the trajectory across PRs.
 type PerfRecord struct {
-	Date      string         `json:"date"`
-	GoVersion string         `json:"go_version"`
-	NumCPU    int            `json:"num_cpu"`
-	Runs      int            `json:"runs_per_workload"`
-	Workloads []WorkloadPerf `json:"workloads"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the parallelism the measurement actually ran with —
+	// NumCPU alone proved misleading: the whole PR1→PR4 farm history was
+	// recorded at effective parallelism 1 and nothing in the record said
+	// so. Zero in records written before this field existed.
+	GoMaxProcs int            `json:"gomaxprocs,omitempty"`
+	Runs       int            `json:"runs_per_workload"`
+	Workloads  []WorkloadPerf `json:"workloads"`
 	// Farm is the serving-farm throughput sweep (VMs/sec and dedup rate per
 	// concurrency level). Informational: the -baseline regression gate stays
 	// on NsPerRun, and records written before the farm existed omit it.
 	Farm []FarmPerf `json:"farm,omitempty"`
+	// FarmScale is the sustained-load multicore sweep (GOMAXPROCS pinned to
+	// the VM count per level, p50/p99 latency, scaling efficiency). The
+	// -baseline gate fails on efficiency regressions when both records were
+	// measured with real parallelism (CompareScaling).
+	FarmScale []FarmScalePerf `json:"farm_scale,omitempty"`
 }
 
 // Perf measures every PerfWorkloads kernel, best-of-runs.
@@ -57,10 +67,11 @@ func Perf(runs int) (*PerfRecord, error) {
 		runs = 1
 	}
 	rec := &PerfRecord{
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Runs:      runs,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Runs:       runs,
 	}
 	for _, name := range PerfWorkloads {
 		w, err := workload.ByName(name)
@@ -97,6 +108,11 @@ func Perf(runs int) (*PerfRecord, error) {
 		return nil, err
 	}
 	rec.Farm = farmRows
+	scaleRows, err := FarmScale(nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	rec.FarmScale = scaleRows
 	return rec, nil
 }
 

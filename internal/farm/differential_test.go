@@ -82,7 +82,9 @@ func TestFarmDifferential(t *testing.T) {
 		solo[w.Name] = soloRun(t, w, cfg)
 	}
 
-	f := New(Config{MaxVMs: 4, QueueDepth: 2 * len(ws), Engine: cfg})
+	// StoreShards forced wide: the byte-identity contract must hold across
+	// shard boundaries, not just on whatever GOMAXPROCS this host has.
+	f := New(Config{MaxVMs: 4, QueueDepth: 2 * len(ws), Engine: cfg, StoreShards: 8})
 	var ids []string
 	for _, w := range ws {
 		v, err := f.Submit(JobSpec{Workload: w.Name})
@@ -133,7 +135,7 @@ func TestFarmDifferentialPipelined(t *testing.T) {
 	cfg.PipelineWorkers = 2
 	ws := workload.Boots() // boots exercise SMC/MMIO; apps covered above
 
-	f := New(Config{MaxVMs: 4, QueueDepth: 2 * len(ws), Engine: cfg})
+	f := New(Config{MaxVMs: 4, QueueDepth: 2 * len(ws), Engine: cfg, StoreShards: 8})
 	var ids []string
 	for i := 0; i < 2; i++ {
 		for _, w := range ws {

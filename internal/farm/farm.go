@@ -11,12 +11,25 @@
 // install/chaining stays per-VM — each VM's simulated Metrics and final
 // architectural state are bit-identical to a solo run of the same workload
 // (proven by differential test). The store moves wall-clock time only.
+//
+// Lock layout (docs/INTERNALS.md "Hot-path architecture"): there is no
+// farm-wide mutex on any hot path. Admission (Submit) takes a read lock on
+// admMu — shared among concurrent submitters, exclusive only against the
+// one-time queue close in Drain — plus a short exclusive section on jobsMu
+// to register the job. Runners never touch the job table: a job travels to
+// its runner through the queue channel, and all per-job lifecycle state is
+// guarded by that job's own mutex, so observers snapshotting one job never
+// block another job's runner. Counters hot enough to be touched per job
+// (queued/active) are atomics; per-runner aggregates live in cache-line-
+// padded shards owned by one runner each and are folded only when Stats()
+// is read.
 package farm
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cms/internal/asm"
@@ -37,6 +50,10 @@ type Config struct {
 	QueueDepth int
 	// StoreCapAtoms bounds the shared translation store (0 = default).
 	StoreCapAtoms int
+	// StoreShards overrides the shared store's shard count (0 = size from
+	// GOMAXPROCS). Tests force a wide array so cross-shard behavior is
+	// exercised even on small hosts.
+	StoreShards int
 	// Engine is the per-VM engine configuration template. Its SharedStore
 	// field is overwritten with the farm's store.
 	Engine cms.Config
@@ -101,10 +118,15 @@ type Result struct {
 	WallNs       int64  `json:"wall_ns"`
 }
 
-// job is the farm's internal record; JobView is its API snapshot.
+// job is the farm's internal record; JobView is its API snapshot. The
+// identity fields (id, spec) are immutable after Submit; everything else is
+// guarded by the job's own mutex so observers of one job never contend with
+// other jobs' runners.
 type job struct {
-	id       string
-	spec     JobSpec
+	id   string
+	spec JobSpec
+
+	mu       sync.Mutex
 	status   Status
 	errMsg   string
 	result   *Result
@@ -120,6 +142,21 @@ type JobView struct {
 	Status Status  `json:"status"`
 	Error  string  `json:"error,omitempty"`
 	Result *Result `json:"result,omitempty"`
+	// LatencyNs is submit-to-completion wall time, including queue wait
+	// (0 until the job finishes) — the number the farmscale harness turns
+	// into p50/p99 serving latency.
+	LatencyNs int64 `json:"latency_ns,omitempty"`
+}
+
+// view snapshots the job under its own mutex.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{ID: j.id, Spec: j.spec, Status: j.status, Error: j.errMsg, Result: j.result}
+	if j.status == StatusDone || j.status == StatusFailed {
+		v.LatencyNs = j.finished.Sub(j.created).Nanoseconds()
+	}
+	return v
 }
 
 // Errors Submit returns; cmsserve maps them to HTTP statuses.
@@ -128,6 +165,21 @@ var (
 	ErrDraining  = errors.New("farm: draining, not accepting jobs")
 )
 
+// runnerCounters is one runner's slice of the farm aggregates. Each runner
+// owns exactly one element of Farm.runners and is the only writer; Stats()
+// folds them on read. The atomics are uncontended in steady state, and the
+// trailing pad keeps neighbouring runners' counters off one cache line.
+type runnerCounters struct {
+	done      atomic.Uint64
+	failed    atomic.Uint64
+	guest     atomic.Uint64
+	mols      atomic.Uint64
+	xlate     atomic.Uint64
+	rollbacks atomic.Uint64
+	retrans   atomic.Uint64
+	_         [64]byte
+}
+
 // Farm runs guest VMs over a shared translation store.
 type Farm struct {
 	cfg   Config
@@ -135,36 +187,39 @@ type Farm struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
+	// admMu serializes admission against the one-time queue close: Submit
+	// holds it shared (submitters never block each other), Drain takes it
+	// exclusive for the closed=true + close(queue) transition.
+	admMu  sync.RWMutex
+	closed bool
+
+	// jobsMu guards only the job table and submission order; per-job state
+	// is behind each job's own mutex.
+	jobsMu sync.RWMutex
 	jobs   map[string]*job
 	order  []*job
-	closed bool
-	queued int
-	active int
-	done   uint64
-	failed uint64
-	seq    uint64
 
-	// Aggregates over completed jobs (for farm-level /metrics).
-	aggGuest     uint64
-	aggMols      uint64
-	aggXlate     uint64
-	aggRollbacks uint64
-	aggRetrans   uint64
+	seq       atomic.Uint64 // job-id sequence; may skip on rejected admissions
+	submitted atomic.Uint64 // successful admissions
+	queued    atomic.Int64
+	active    atomic.Int64
+
+	runners []runnerCounters
 }
 
 // New starts a farm: MaxVMs runner goroutines over an empty shared store.
 func New(cfg Config) *Farm {
 	cfg = cfg.normalized()
 	f := &Farm{
-		cfg:   cfg,
-		store: tcache.NewShared(cfg.StoreCapAtoms),
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
+		cfg:     cfg,
+		store:   tcache.NewSharedShards(cfg.StoreCapAtoms, cfg.StoreShards),
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+		runners: make([]runnerCounters, cfg.MaxVMs),
 	}
 	f.wg.Add(cfg.MaxVMs)
 	for i := 0; i < cfg.MaxVMs; i++ {
-		go f.runner()
+		go f.runner(i)
 	}
 	return f
 }
@@ -173,7 +228,9 @@ func New(cfg Config) *Farm {
 func (f *Farm) Store() *tcache.SharedStore { return f.store }
 
 // Submit validates and enqueues a job. It never blocks: a full queue is
-// ErrQueueFull, a draining farm is ErrDraining.
+// ErrQueueFull, a draining farm is ErrDraining. Concurrent submitters do
+// not serialize against each other or against running jobs' bookkeeping —
+// the only exclusive section is the job-table insert.
 func (f *Farm) Submit(spec JobSpec) (JobView, error) {
 	if (spec.Workload == "") == (spec.Source == "") {
 		return JobView{}, errors.New("farm: spec needs exactly one of workload or source")
@@ -183,67 +240,67 @@ func (f *Farm) Submit(spec JobSpec) (JobView, error) {
 			return JobView{}, err
 		}
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.admMu.RLock()
+	defer f.admMu.RUnlock()
 	if f.closed {
 		return JobView{}, ErrDraining
 	}
-	f.seq++
 	j := &job{
-		id:      fmt.Sprintf("job-%06d", f.seq),
+		id:      fmt.Sprintf("job-%06d", f.seq.Add(1)),
 		spec:    spec,
 		status:  StatusQueued,
 		created: time.Now(),
 	}
+	f.queued.Add(1)
 	select {
 	case f.queue <- j:
 	default:
-		f.seq--
+		f.queued.Add(-1)
 		return JobView{}, ErrQueueFull
 	}
+	f.submitted.Add(1)
+	f.jobsMu.Lock()
 	f.jobs[j.id] = j
 	f.order = append(f.order, j)
-	f.queued++
-	return f.viewLocked(j), nil
+	f.jobsMu.Unlock()
+	return j.view(), nil
 }
 
 // Job returns a snapshot of one job.
 func (f *Farm) Job(id string) (JobView, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.jobsMu.RLock()
 	j, ok := f.jobs[id]
+	f.jobsMu.RUnlock()
 	if !ok {
 		return JobView{}, false
 	}
-	return f.viewLocked(j), true
+	return j.view(), true
 }
 
-// Jobs returns snapshots of every job in submission order.
+// Jobs returns snapshots of every job in submission order. The job table is
+// held only long enough to copy the order slice; per-job snapshots and any
+// formatting by the caller happen outside farm-wide locks.
 func (f *Farm) Jobs() []JobView {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	out := make([]JobView, 0, len(f.order))
-	for _, j := range f.order {
-		out = append(out, f.viewLocked(j))
+	f.jobsMu.RLock()
+	order := make([]*job, len(f.order))
+	copy(order, f.order)
+	f.jobsMu.RUnlock()
+	out := make([]JobView, 0, len(order))
+	for _, j := range order {
+		out = append(out, j.view())
 	}
 	return out
-}
-
-// viewLocked snapshots a job; the Result pointer is shared but immutable
-// once set (runners never mutate a result after publishing it).
-func (f *Farm) viewLocked(j *job) JobView {
-	return JobView{ID: j.id, Spec: j.spec, Status: j.status, Error: j.errMsg, Result: j.result}
 }
 
 // Drain stops admission and waits for every queued and running job to
 // finish — the SIGTERM path of cmsserve. Safe to call more than once.
 func (f *Farm) Drain() {
-	f.mu.Lock()
+	f.admMu.Lock()
 	if !f.closed {
 		f.closed = true
 		close(f.queue)
 	}
-	f.mu.Unlock()
+	f.admMu.Unlock()
 	f.wg.Wait()
 }
 
@@ -251,10 +308,7 @@ func (f *Farm) Drain() {
 // closing admission (tests and the bench harness).
 func (f *Farm) Wait() {
 	for {
-		f.mu.Lock()
-		idle := f.queued == 0 && f.active == 0
-		f.mu.Unlock()
-		if idle {
+		if f.queued.Load() == 0 && f.active.Load() == 0 {
 			return
 		}
 		time.Sleep(200 * time.Microsecond)
@@ -280,62 +334,78 @@ type Stats struct {
 	Retranslations uint64 // adaptive retranslation events
 }
 
-// Stats returns the farm's counters.
+// Stats returns the farm's counters, folded from the per-runner shards and
+// the store's per-shard atomics. It takes no farm-wide lock and is safe to
+// call at any rate while jobs run.
 func (f *Farm) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return Stats{
-		VMs:            f.cfg.MaxVMs,
-		Active:         f.active,
-		Queued:         f.queued,
-		Done:           f.done,
-		Failed:         f.failed,
-		Submitted:      f.seq,
-		Store:          f.store.Stats(),
-		GuestInsns:     f.aggGuest,
-		Mols:           f.aggMols,
-		Translations:   f.aggXlate,
-		Rollbacks:      f.aggRollbacks,
-		Retranslations: f.aggRetrans,
+	st := Stats{
+		VMs:       f.cfg.MaxVMs,
+		Active:    int(f.active.Load()),
+		Queued:    int(f.queued.Load()),
+		Submitted: f.submitted.Load(),
+		Store:     f.store.Stats(),
 	}
+	if st.Queued < 0 {
+		st.Queued = 0 // transient: a runner decremented before Submit's increment landed
+	}
+	for i := range f.runners {
+		r := &f.runners[i]
+		st.Done += r.done.Load()
+		st.Failed += r.failed.Load()
+		st.GuestInsns += r.guest.Load()
+		st.Mols += r.mols.Load()
+		st.Translations += r.xlate.Load()
+		st.Rollbacks += r.rollbacks.Load()
+		st.Retranslations += r.retrans.Load()
+	}
+	return st
 }
 
 // runner is one VM slot: it executes queued jobs to completion, one at a
-// time, until the queue closes.
-func (f *Farm) runner() {
+// time, until the queue closes. Lifecycle updates touch only the job's own
+// mutex and this runner's counter shard — never a farm-wide lock.
+func (f *Farm) runner(slot int) {
 	defer f.wg.Done()
+	rc := &f.runners[slot]
 	for j := range f.queue {
-		f.mu.Lock()
-		f.queued--
-		f.active++
+		f.active.Add(1)
+		f.queued.Add(-1)
+		j.mu.Lock()
 		j.status = StatusRunning
 		j.started = time.Now()
-		f.mu.Unlock()
+		j.mu.Unlock()
 
 		res, err := f.execute(j.spec)
 
-		f.mu.Lock()
-		f.active--
+		j.mu.Lock()
 		j.finished = time.Now()
 		if err != nil {
 			j.status = StatusFailed
 			j.errMsg = err.Error()
-			f.failed++
 		} else {
 			j.status = StatusDone
 			j.result = res
-			f.done++
-			f.aggGuest += res.GuestInsns
-			f.aggMols += res.Mols
-			f.aggXlate += res.Metrics.Translations
+		}
+		j.mu.Unlock()
+
+		if err != nil {
+			rc.failed.Add(1)
+		} else {
+			rc.done.Add(1)
+			rc.guest.Add(res.GuestInsns)
+			rc.mols.Add(res.Mols)
+			rc.xlate.Add(res.Metrics.Translations)
+			var rb, rt uint64
 			for _, n := range res.Metrics.Faults {
-				f.aggRollbacks += n
+				rb += n
 			}
 			for _, n := range res.Metrics.Adaptations {
-				f.aggRetrans += n
+				rt += n
 			}
+			rc.rollbacks.Add(rb)
+			rc.retrans.Add(rt)
 		}
-		f.mu.Unlock()
+		f.active.Add(-1)
 	}
 }
 

@@ -1,8 +1,11 @@
 package farm
 
 import (
+	"io"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"cms/internal/cms"
 )
@@ -159,6 +162,88 @@ func TestSharedStoreDedupAcrossVMs(t *testing.T) {
 	}
 	if va.Result.Regs != vb.Result.Regs {
 		t.Error("identical jobs produced different final registers")
+	}
+}
+
+// TestConcurrentObserversUnderLoad is the lock-layout regression test, run
+// under -race by check.sh: while a stream of jobs flows through every VM
+// slot, observer goroutines hammer Stats, Jobs, Job, and WriteMetrics, and
+// submitter goroutines race each other into the admission queue. The old
+// single farm mutex made these serialize behind running jobs' bookkeeping
+// (and Stats() raced runner updates); now none of them may block progress
+// or trip the race detector.
+func TestConcurrentObserversUnderLoad(t *testing.T) {
+	f := New(Config{MaxVMs: 4, QueueDepth: 256})
+	const jobs = 40
+	var submitters, observers sync.WaitGroup
+	ids := make(chan string, jobs)
+	for s := 0; s < 4; s++ {
+		submitters.Add(1)
+		go func() {
+			defer submitters.Done()
+			for i := 0; i < jobs/4; i++ {
+				v, err := f.Submit(JobSpec{Source: testSource})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids <- v.ID
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for o := 0; o < 3; o++ {
+		observers.Add(1)
+		go func() {
+			defer observers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := f.Stats()
+				if st.Queued < 0 || st.Active < 0 || st.Active > 4 {
+					t.Errorf("implausible stats snapshot: %+v", st)
+					return
+				}
+				for _, j := range f.Jobs() {
+					if _, ok := f.Job(j.ID); !ok {
+						t.Errorf("%s listed but not found", j.ID)
+						return
+					}
+				}
+				WriteMetrics(io.Discard, f)
+				time.Sleep(200 * time.Microsecond) // keep the spin from starving runners on small hosts
+			}
+		}()
+	}
+	submitters.Wait()
+	f.Drain()
+	close(stop)
+	observers.Wait()
+	close(ids)
+
+	st := f.Stats()
+	if st.Done != jobs || st.Failed != 0 {
+		t.Fatalf("done=%d failed=%d, want %d/0", st.Done, st.Failed, jobs)
+	}
+	if st.Submitted != jobs {
+		t.Errorf("submitted=%d, want %d", st.Submitted, jobs)
+	}
+	seen := make(map[string]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate job id %s under concurrent submission", id)
+		}
+		seen[id] = true
+		v, ok := f.Job(id)
+		if !ok || v.Status != StatusDone {
+			t.Errorf("%s: %v %s (%s)", id, ok, v.Status, v.Error)
+		}
+		if v.LatencyNs <= 0 {
+			t.Errorf("%s: no latency recorded on a finished job", id)
+		}
 	}
 }
 

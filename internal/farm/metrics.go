@@ -3,15 +3,44 @@ package farm
 import (
 	"fmt"
 	"io"
+	"sort"
 )
+
+// LatencyPercentiles computes p50/p99 submit-to-completion latency over a
+// slice of job snapshots (finished jobs only). Zeros when nothing finished.
+// It operates on JobView values precisely so callers snapshot first and
+// compute outside any farm lock.
+func LatencyPercentiles(jobs []JobView) (p50, p99 int64) {
+	lat := make([]int64, 0, len(jobs))
+	for _, j := range jobs {
+		if j.LatencyNs > 0 {
+			lat = append(lat, j.LatencyNs)
+		}
+	}
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(q float64) int64 {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return pick(0.50), pick(0.99)
+}
 
 // WriteMetrics renders the farm's counters in Prometheus text exposition
 // format (hand-rolled; the repo is stdlib-only). Gauges describe the current
 // farm shape, counters accumulate over completed jobs, and the per-job
 // series expose each VM's shared-store attribution — that is where the
 // "second VM of an identical workload hits >90%" claim is visible.
+//
+// Everything below is formatted from point-in-time snapshots (Stats() folds
+// atomics, Jobs() copies views): no farm or job lock is held while bytes
+// are written, so a slow scrape can never stall admission or a runner.
 func WriteMetrics(w io.Writer, f *Farm) {
 	st := f.Stats()
+	jobs := f.Jobs()
+	p50, p99 := LatencyPercentiles(jobs)
 
 	gauge := func(name, help string, v interface{}) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
@@ -26,6 +55,8 @@ func WriteMetrics(w io.Writer, f *Farm) {
 	counter("cms_farm_jobs_done_total", "Jobs completed successfully.", st.Done)
 	counter("cms_farm_jobs_failed_total", "Jobs that ended in an error.", st.Failed)
 	counter("cms_farm_jobs_submitted_total", "Jobs admitted since start.", st.Submitted)
+	gauge("cms_farm_job_latency_p50_ns", "Median submit-to-completion latency over finished jobs.", p50)
+	gauge("cms_farm_job_latency_p99_ns", "99th-percentile submit-to-completion latency over finished jobs.", p99)
 
 	counter("cms_farm_store_hits_total", "Shared-store lookups served from an installed artifact.", st.Store.Hits)
 	counter("cms_farm_store_waits_total", "Shared-store lookups that joined an in-flight translation.", st.Store.Waits)
@@ -33,6 +64,7 @@ func WriteMetrics(w io.Writer, f *Farm) {
 	counter("cms_farm_store_evictions_total", "Artifacts evicted from the shared store.", st.Store.Evictions)
 	gauge("cms_farm_store_entries", "Artifacts resident in the shared store.", st.Store.Entries)
 	gauge("cms_farm_store_atoms", "Code atoms resident in the shared store.", st.Store.Atoms)
+	gauge("cms_farm_store_shards", "Width of the shared store's shard array.", st.Store.Shards)
 	gauge("cms_farm_store_dedup_ratio", "Fraction of translation requests deduplicated (hits+waits over all).", st.Store.DedupRatio())
 
 	counter("cms_farm_guest_insns_total", "Guest instructions retired across completed jobs.", st.GuestInsns)
@@ -42,7 +74,6 @@ func WriteMetrics(w io.Writer, f *Farm) {
 	counter("cms_farm_retranslations_total", "Adaptive retranslation events across completed jobs.", st.Retranslations)
 
 	// Per-job series, labeled by job id and workload.
-	jobs := f.Jobs()
 	fmt.Fprintf(w, "# HELP cms_farm_job_store_hits_total Shared-store hits attributed to one VM.\n# TYPE cms_farm_job_store_hits_total counter\n")
 	for _, j := range jobs {
 		if j.Result != nil {

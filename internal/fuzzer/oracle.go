@@ -94,7 +94,10 @@ func CheckProgram(p *Program, opts CheckOptions) *Divergence {
 	compiled := run("compiled", nil, nil)
 	pipe1 := run("pipe1", func(c *cms.Config) { c.PipelineWorkers = 1 }, nil)
 	pipe2 := run("pipe2", func(c *cms.Config) { c.PipelineWorkers = 2 }, nil)
-	store := tcache.NewShared(0)
+	// A forced-wide shard array: on small hosts NewShared would collapse to
+	// one shard, and the shared runs must prove cross-shard routing is as
+	// invisible as the store itself.
+	store := tcache.NewSharedShards(0, 4)
 	shared := func(c *cms.Config) { c.SharedStore = store }
 	sharedA := run("sharedA", shared, nil)
 	sharedB := run("sharedB", shared, nil)
@@ -104,6 +107,11 @@ func CheckProgram(p *Program, opts CheckOptions) *Divergence {
 		all = append(all,
 			run("inj-xlate", func(c *cms.Config) { c.EnableCompiledBackend = false }, NewSchedule(p.Seed)),
 			run("inj-compiled", nil, NewSchedule(p.Seed^0xA5A5)),
+			// Injected evictions against the warm sharded store: forced
+			// invalidations make the VM re-request regions the store still
+			// holds, so the hit path runs mid-schedule and must stay
+			// architecturally invisible.
+			run("inj-shared", shared, NewSchedule(p.Seed^0x3C3C)),
 		)
 	}
 

@@ -2,7 +2,10 @@ package tcache
 
 import (
 	"container/list"
+	"encoding/binary"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cms/internal/xlate"
 )
@@ -24,27 +27,54 @@ import (
 // it charges the same simulated translation cost either way, so per-VM
 // Metrics and final guest state are bit-identical to a solo run.
 //
-// Concurrent misses on the same key are single-flighted: the first VM
-// translates, later VMs wait for its result rather than duplicating the
-// work. Capacity is bounded in atoms; insertion evicts least-recently-used
-// entries (a wall-clock-only decision — an evicted region simply translates
-// again on its next miss).
+// Scaling model: the store is sharded by key prefix into a power-of-two
+// array of independent shards, each with its own mutex, LRU list, atom
+// sub-budget, and single-flight table. xlate.Key is a SHA-256, so any
+// prefix of it is uniform; concurrent VMs hitting *different* hot regions
+// land on different shards and never touch the same lock. Event counters
+// are per-shard atomics, aggregated only when Stats() is called — the hit
+// path takes exactly one shard mutex (for the LRU touch) and nothing
+// process-wide.
+//
+// Concurrent misses on the same key are single-flighted within the key's
+// shard: the first VM translates, later VMs wait for its result rather than
+// duplicating the work. Capacity is bounded in atoms, split evenly across
+// shards; insertion evicts least-recently-used entries of that shard (a
+// wall-clock-only decision — an evicted region simply translates again on
+// its next miss, so per-shard LRU is as safe as global LRU).
 type SharedStore struct {
-	mu       sync.Mutex
-	entries  map[xlate.Key]*sharedEntry
-	lru      *list.List // front = most recently used; values are *sharedEntry
-	inflight map[xlate.Key]*flight
-
-	// CapAtoms bounds the total stored code size (0 = DefaultSharedCapAtoms).
-	capAtoms int
-	curAtoms int
-
-	stats SharedStats
+	shards []storeShard
+	mask   uint64 // len(shards)-1; len is a power of two
 }
 
 // DefaultSharedCapAtoms is the default shared-store budget: a few VM-caches
 // worth of code, since the store backs many VMs at once.
 const DefaultSharedCapAtoms = 4 << 20
+
+// maxShards bounds the shard array; beyond this, shard-selection locality
+// costs more than lock spreading buys.
+const maxShards = 256
+
+// storeShard is one independent slice of the key space. Counters are
+// atomics so the miss path never takes the mutex just to count; mu guards
+// only the entry map, LRU list, in-flight table, and atom accounting.
+type storeShard struct {
+	hits      atomic.Uint64
+	waits     atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	mu       sync.Mutex
+	entries  map[xlate.Key]*sharedEntry
+	lru      *list.List // front = most recently used; values are *sharedEntry
+	inflight map[xlate.Key]*flight
+	capAtoms int // this shard's slice of the store budget
+	curAtoms int
+
+	// Pad shards apart so neighbouring shards' mutexes and counters never
+	// share a cache line (the whole point of sharding).
+	_ [64]byte
+}
 
 type sharedEntry struct {
 	key   xlate.Key
@@ -65,7 +95,10 @@ type flight struct {
 // SharedStats counts store events. Hits are immediate cache hits; Waits are
 // requests that piggybacked on another VM's in-flight translation (dedup
 // hits too, but the requester paid the wall-clock wait); Misses ran the
-// backend.
+// backend. Totals are aggregated from per-shard atomic counters: each field
+// is a consistent sum, but fields read while the store is under load may be
+// skewed by in-flight requests (Hits+Waits+Misses always equals the number
+// of Translate calls that have passed their counting point).
 type SharedStats struct {
 	Hits      uint64
 	Waits     uint64
@@ -73,6 +106,7 @@ type SharedStats struct {
 	Evictions uint64
 	Entries   int
 	Atoms     int
+	Shards    int
 }
 
 // DedupRatio returns the fraction of requests served without running the
@@ -85,83 +119,129 @@ func (s SharedStats) DedupRatio() float64 {
 	return float64(s.Hits+s.Waits) / float64(total)
 }
 
-// NewShared returns an empty shared store (capAtoms 0 = default).
+// NewShared returns an empty shared store (capAtoms 0 = default), sharded
+// for the process's current GOMAXPROCS.
 func NewShared(capAtoms int) *SharedStore {
+	return NewSharedShards(capAtoms, 0)
+}
+
+// NewSharedShards is NewShared with an explicit shard count (rounded up to
+// a power of two, capped; 0 = size from GOMAXPROCS). Tests use it to force
+// a single global shard (exact LRU/budget semantics) or a wide array
+// (cross-shard invariants); production callers want NewShared.
+func NewSharedShards(capAtoms, shards int) *SharedStore {
 	if capAtoms <= 0 {
 		capAtoms = DefaultSharedCapAtoms
 	}
-	return &SharedStore{
-		entries:  make(map[xlate.Key]*sharedEntry),
-		lru:      list.New(),
-		inflight: make(map[xlate.Key]*flight),
-		capAtoms: capAtoms,
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
 	}
+	n := 1
+	for n < shards && n < maxShards {
+		n <<= 1
+	}
+	s := &SharedStore{shards: make([]storeShard, n), mask: uint64(n - 1)}
+	per := capAtoms / n
+	if per < 1 {
+		per = 1
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.entries = make(map[xlate.Key]*sharedEntry)
+		sh.lru = list.New()
+		sh.inflight = make(map[xlate.Key]*flight)
+		sh.capAtoms = per
+	}
+	return s
 }
+
+// shard maps a key to its shard by prefix. The key is a SHA-256, so the
+// leading 8 bytes are uniformly distributed over shards.
+func (s *SharedStore) shard(key xlate.Key) *storeShard {
+	return &s.shards[binary.LittleEndian.Uint64(key[:8])&s.mask]
+}
+
+// NumShards reports the width of the shard array (for metrics and tests).
+func (s *SharedStore) NumShards() int { return len(s.shards) }
 
 // Translate returns the translation for the frozen request, running the
 // backend at most once per content key across all callers. hit reports
 // whether the backend was skipped (cached or piggybacked on another VM's
 // in-flight run). Errors are returned to every waiter and never cached —
 // the next requester retries.
+//
+// The hot path touches only the key's shard: the SHA-256 key is computed
+// outside any lock, and a hit costs one shard-mutex acquisition for the
+// LRU touch plus one atomic increment.
 func (s *SharedStore) Translate(req *xlate.Request) (t *xlate.Translation, hit bool, err error) {
 	key := req.Key()
-	s.mu.Lock()
-	if e := s.entries[key]; e != nil {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	if e := sh.entries[key]; e != nil {
 		e.hits++
-		s.stats.Hits++
-		s.lru.MoveToFront(e.elem)
-		s.mu.Unlock()
+		sh.lru.MoveToFront(e.elem)
+		sh.mu.Unlock()
+		sh.hits.Add(1)
 		return e.t, true, nil
 	}
-	if f := s.inflight[key]; f != nil {
-		s.stats.Waits++
-		s.mu.Unlock()
+	if f := sh.inflight[key]; f != nil {
+		sh.mu.Unlock()
+		sh.waits.Add(1)
 		<-f.done
 		return f.t, true, f.err
 	}
 	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	s.stats.Misses++
-	s.mu.Unlock()
+	sh.inflight[key] = f
+	sh.mu.Unlock()
+	sh.misses.Add(1)
 
 	f.t, f.err = req.Translate()
 
-	s.mu.Lock()
-	delete(s.inflight, key)
+	sh.mu.Lock()
+	delete(sh.inflight, key)
 	if f.err == nil {
-		s.insert(key, f.t)
+		sh.insert(key, f.t)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	close(f.done)
 	return f.t, false, f.err
 }
 
-// insert stores an artifact under key, evicting LRU entries to fit. Called
-// with s.mu held.
-func (s *SharedStore) insert(key xlate.Key, t *xlate.Translation) {
-	if s.entries[key] != nil {
+// insert stores an artifact under key, evicting this shard's LRU entries to
+// fit its sub-budget. Called with sh.mu held. The newly inserted entry is
+// always kept, even if it alone exceeds the shard budget — the budget
+// bounds steady-state residency, not a single artifact.
+func (sh *storeShard) insert(key xlate.Key, t *xlate.Translation) {
+	if sh.entries[key] != nil {
 		return // a concurrent producer won the race; keep its artifact
 	}
 	atoms := t.CodeAtoms()
-	for s.curAtoms+atoms > s.capAtoms && s.lru.Len() > 0 {
-		victim := s.lru.Back().Value.(*sharedEntry)
-		s.lru.Remove(victim.elem)
-		delete(s.entries, victim.key)
-		s.curAtoms -= victim.atoms
-		s.stats.Evictions++
+	for sh.curAtoms+atoms > sh.capAtoms && sh.lru.Len() > 0 {
+		victim := sh.lru.Back().Value.(*sharedEntry)
+		sh.lru.Remove(victim.elem)
+		delete(sh.entries, victim.key)
+		sh.curAtoms -= victim.atoms
+		sh.evictions.Add(1)
 	}
 	e := &sharedEntry{key: key, t: t, atoms: atoms}
-	e.elem = s.lru.PushFront(e)
-	s.entries[key] = e
-	s.curAtoms += atoms
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[key] = e
+	sh.curAtoms += atoms
 }
 
-// Stats returns a snapshot of the store's counters and current size.
+// Stats aggregates every shard's counters and residency into one snapshot.
 func (s *SharedStore) Stats() SharedStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Entries = len(s.entries)
-	st.Atoms = s.curAtoms
+	st := SharedStats{Shards: len(s.shards)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		st.Hits += sh.hits.Load()
+		st.Waits += sh.waits.Load()
+		st.Misses += sh.misses.Load()
+		st.Evictions += sh.evictions.Load()
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		st.Atoms += sh.curAtoms
+		sh.mu.Unlock()
+	}
 	return st
 }

@@ -2,7 +2,9 @@ package tcache
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"cms/internal/asm"
 	"cms/internal/interp"
@@ -120,7 +122,9 @@ func TestSharedStoreEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Budget for roughly two artifacts: inserting a third evicts the LRU.
-	s := NewShared(2*first.CodeAtoms() + first.CodeAtoms()/2)
+	// One shard pins the whole budget to one LRU list so the eviction order
+	// is exact; multi-shard budget behavior is TestSharedStoreTorture's job.
+	s := NewSharedShards(2*first.CodeAtoms()+first.CodeAtoms()/2, 1)
 	for imm := 1; imm <= 3; imm++ {
 		if _, _, err := s.Translate(sharedReq(t, imm)); err != nil {
 			t.Fatal(err)
@@ -136,6 +140,162 @@ func TestSharedStoreEviction(t *testing.T) {
 	// imm=1 was evicted (LRU): re-requesting it must miss and re-translate.
 	if _, hit, _ := s.Translate(sharedReq(t, 1)); hit {
 		t.Error("evicted entry must miss")
+	}
+}
+
+// TestSharedStoreShardSizing checks the shard array is a power of two and
+// that keys spread across it by prefix.
+func TestSharedStoreShardSizing(t *testing.T) {
+	for req, want := range map[int]int{0: 0, 1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 1 << 20: maxShards} {
+		s := NewSharedShards(0, req)
+		n := s.NumShards()
+		if want != 0 && n != want {
+			t.Errorf("shards(%d) = %d, want %d", req, n, want)
+		}
+		if n&(n-1) != 0 || n < 1 {
+			t.Errorf("shards(%d) = %d, not a power of two", req, n)
+		}
+	}
+	if n := NewShared(0).NumShards(); n < 1 {
+		t.Errorf("default store has %d shards", n)
+	}
+}
+
+// TestSharedStoreTorture is the sharded store's concurrency contract, meant
+// to run under -race: many goroutines hammer Get/insert/evict over an
+// overlapping key set spread across a wide shard array with a budget tight
+// enough to force constant eviction, while other goroutines read Stats().
+// Afterwards it asserts single-flight dedup (on a second, unbounded store),
+// the per-shard atom-budget invariant, and that the stats counters sum
+// exactly to the number of requests issued.
+func TestSharedStoreTorture(t *testing.T) {
+	const (
+		keys    = 24
+		workers = 8
+		iters   = 30
+	)
+	reqs := make([]*xlate.Request, keys)
+	for i := range reqs {
+		reqs[i] = sharedReq(t, i+1)
+	}
+	atoms := make([]int, keys)
+	{
+		probe := NewShared(0)
+		for i, r := range reqs {
+			tl, _, err := probe.Translate(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			atoms[i] = tl.CodeAtoms()
+		}
+	}
+	maxAtoms := 0
+	for _, a := range atoms {
+		if a > maxAtoms {
+			maxAtoms = a
+		}
+	}
+
+	// Tight store: 16 shards over a budget of ~6 artifacts total, so most
+	// shards cannot hold even two entries and eviction churns continuously.
+	s := NewSharedShards(6*maxAtoms, 16)
+	var total atomic.Uint64
+	var wg, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Stats() // concurrent reader: must never race or block progress
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Overlapping slices of the key set per worker, so the same
+				// key is requested from several goroutines at once.
+				r := reqs[(w*7+i)%keys]
+				if _, _, err := s.Translate(r); err != nil {
+					t.Error(err)
+					return
+				}
+				total.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := s.Stats()
+	if got := st.Hits + st.Waits + st.Misses; got != total.Load() {
+		t.Errorf("stats sum to %d requests, issued %d", got, total.Load())
+	}
+	if st.Evictions == 0 {
+		t.Error("tight budget never evicted")
+	}
+	// Per-shard invariants: accounted atoms match resident entries, and no
+	// shard exceeds its sub-budget unless a single oversized entry forces it.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sum := 0
+		for _, e := range sh.entries {
+			sum += e.atoms
+		}
+		if sum != sh.curAtoms {
+			t.Errorf("shard %d: accounted %d atoms, entries hold %d", i, sh.curAtoms, sum)
+		}
+		if sh.curAtoms > sh.capAtoms && len(sh.entries) > 1 {
+			t.Errorf("shard %d: %d atoms over budget %d with %d entries",
+				i, sh.curAtoms, sh.capAtoms, len(sh.entries))
+		}
+		if sh.lru.Len() != len(sh.entries) {
+			t.Errorf("shard %d: lru %d vs entries %d", i, sh.lru.Len(), len(sh.entries))
+		}
+		if len(sh.inflight) != 0 {
+			t.Errorf("shard %d: %d flights leaked", i, len(sh.inflight))
+		}
+		sh.mu.Unlock()
+	}
+
+	// Unbounded store, same concurrent access pattern: single-flight means
+	// the backend runs at most once per distinct key.
+	big := NewSharedShards(0, 16)
+	var total2 atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, _, err := big.Translate(reqs[(w*5+i)%keys]); err != nil {
+					t.Error(err)
+					return
+				}
+				total2.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st = big.Stats()
+	if st.Misses > keys {
+		t.Errorf("backend ran %d times for %d distinct keys (single-flight broken)", st.Misses, keys)
+	}
+	if st.Hits+st.Waits+st.Misses != total2.Load() {
+		t.Errorf("stats sum %d, issued %d", st.Hits+st.Waits+st.Misses, total2.Load())
+	}
+	if st.Entries != keys {
+		t.Errorf("unbounded store resident entries = %d, want %d", st.Entries, keys)
 	}
 }
 

@@ -26,7 +26,15 @@ go test -race -run 'TestBackendDifferential' -count=1 ./internal/bench/
 # The farm differential test is the serving subsystem's correctness
 # contract (solo and in-farm runs byte-identical over the shared store);
 # run the package by name, under -race, so cross-VM sharing bugs fail here.
-go test -race -count=1 ./internal/farm/...
+# tcache rides along for the sharded-store torture test: shard regressions
+# (single-flight, per-shard budgets, stats folding) must not land quietly.
+go test -race -count=1 ./internal/farm/... ./internal/tcache/...
+
+# Multicore farm smoke: a short sustained-load sweep through the farmscale
+# harness at 1 and 4 VMs (GOMAXPROCS pinned per level). On a single-core
+# host this prints the loud effective-parallelism warning and still checks
+# the harness end to end.
+go run ./cmd/cmsbench -exp farmscale -farmvms 1,4 -farmjobs 24
 
 # Generative fuzzer smoke: sweep 64 seeds through the full differential
 # oracle (7 engine configurations per seed). A divergence writes a shrunk
