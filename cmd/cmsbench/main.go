@@ -13,8 +13,9 @@
 //	cmsbench -json FILE      # write a wall-clock perf record (BENCH_*.json)
 //	cmsbench -baseline BENCH_PR1.json
 //	                         # measure and diff against a committed record;
-//	                         # exits non-zero on a >10% wall-clock regression
-//	                         # or a multicore scaling-efficiency regression
+//	                         # exits non-zero on a >10% wall-clock regression,
+//	                         # a multicore scaling-efficiency regression, or
+//	                         # >2% watchdog/recover overhead on a hot kernel
 //	                         # (combine with -json FILE to also write a record)
 //	cmsbench -exp farmscale -farmvms 1,4,8 -farmjobs 500
 //	                         # sustained-load multicore sweep: GOMAXPROCS is
@@ -46,6 +47,11 @@ const regressionTolerancePct = 10.0
 // allows per VM level before it fails the run (efficiency is a 0..1 ratio;
 // 0.10 absorbs scheduler jitter without waving through a lost core).
 const scalingToleranceEff = 0.10
+
+// guardTolerancePct caps what fault containment may cost a hot kernel: the
+// guarded measurement (cancel hook armed, recover() wrapper — the farm
+// runner's shape) must stay within this percentage of the plain run.
+const guardTolerancePct = 2.0
 
 // parseLevels parses a "1,4,8"-style VM-level list.
 func parseLevels(s string) ([]int, error) {
@@ -178,6 +184,11 @@ func main() {
 			} else {
 				fmt.Fprintf(os.Stderr, "cmsbench: scaling-efficiency gate skipped: baseline or current record lacks a multicore farm_scale sweep\n")
 			}
+			guardDeltas, worst := bench.GuardOverhead(rec)
+			for _, d := range guardDeltas {
+				fmt.Printf("guard %-14s %10.3f ms -> %10.3f ms  %+7.2f%%\n",
+					d.Name, float64(d.PlainNs)/1e6, float64(d.GuardedNs)/1e6, d.Pct)
+			}
 			if regressed {
 				fmt.Fprintf(os.Stderr, "cmsbench: wall-clock regression beyond %.0f%% vs %s\n",
 					regressionTolerancePct, *baseline)
@@ -187,6 +198,12 @@ func main() {
 			if scaleRegressed {
 				fmt.Fprintf(os.Stderr, "cmsbench: scaling efficiency regressed beyond %.2f vs %s\n",
 					scalingToleranceEff, *baseline)
+				pprof.StopCPUProfile()
+				os.Exit(2)
+			}
+			if worst > guardTolerancePct {
+				fmt.Fprintf(os.Stderr, "cmsbench: watchdog/recover overhead %.2f%% exceeds %.1f%% on a hot kernel\n",
+					worst, guardTolerancePct)
 				pprof.StopCPUProfile()
 				os.Exit(2)
 			}

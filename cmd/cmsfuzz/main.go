@@ -3,8 +3,15 @@
 // to a minimal reproducer, and writes it to the corpus directory. It also
 // replays reproducer files and archives individual seeds.
 //
-// Exit status: 0 = all seeds passed, 1 = divergence found (reproducer
-// written), 2 = usage or internal error.
+// -replay accepts two file formats, distinguished by content: the fuzzer's
+// text reproducers (seed + shrink edits), and the farm's JSON incident
+// bundles (internal/incident) — a failure captured under concurrent serving
+// load, re-run solo and verified bit-exact (same panic/error/timeout
+// boundary, same architectural state hash).
+//
+// Exit status: 0 = all seeds passed / incident reproduced, 1 = divergence
+// found (reproducer written) or incident did not reproduce, 2 = usage or
+// internal error.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"strconv"
 
 	"cms/internal/fuzzer"
+	"cms/internal/incident"
 )
 
 func main() {
@@ -34,6 +42,19 @@ func main() {
 	opts := fuzzer.CheckOptions{Inject: *inject}
 
 	if *replay != "" {
+		if incident.IsBundle(*replay) {
+			b, err := incident.Load(*replay)
+			if err != nil {
+				fatal(err)
+			}
+			if err := incident.Replay(b); err != nil {
+				fmt.Println(err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: reproduced (%s %s, job %s attempt %d on %q rung)\n",
+				*replay, b.Kind, b.Error, b.Job, b.Attempt, b.Rung)
+			return
+		}
 		p, err := fuzzer.LoadReproducer(*replay)
 		if err != nil {
 			fatal(err)

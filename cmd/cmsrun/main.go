@@ -20,6 +20,7 @@
 //	1  usage or tool error (bad flags, unreadable or unassemblable input)
 //	2  the guest died on an unrecoverable fault
 //	3  the instruction budget ran out before the guest halted
+//	4  the -deadline wall-clock watchdog preempted the run
 package main
 
 import (
@@ -30,6 +31,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"cms/internal/asm"
 	"cms/internal/cms"
@@ -40,10 +43,11 @@ import (
 
 // Exit codes.
 const (
-	exitOK     = 0
-	exitUsage  = 1
-	exitFault  = 2
-	exitBudget = 3
+	exitOK      = 0
+	exitUsage   = 1
+	exitFault   = 2
+	exitBudget  = 3
+	exitTimeout = 4
 )
 
 func main() {
@@ -60,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		diskPath  = flag.String("disk", "", "disk image file")
 		ram       = flag.Int("ram", 1<<21, "guest RAM bytes")
 		budget    = flag.Uint64("budget", 100_000_000, "guest instruction budget")
+		deadline  = flag.Int64("deadline", 0, "wall-clock deadline in ms; the run is preempted cooperatively at a commit boundary (exit 4)")
 
 		interpOnly  = flag.Bool("interp", false, "pure interpretation (no translation)")
 		noReorder   = flag.Bool("noreorder", false, "suppress memory reordering (Figure 2)")
@@ -107,6 +112,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.HotThreshold = *hot
 	}
 	cfg.PipelineWorkers = *workers
+	if *deadline > 0 {
+		var cancelled atomic.Bool
+		cfg.Cancel = cancelled.Load
+		timer := time.AfterFunc(time.Duration(*deadline)*time.Millisecond, func() { cancelled.Store(true) })
+		defer timer.Stop()
+	}
 
 	plat := dev.NewPlatform(uint32(*ram), disk)
 	plat.Bus.WriteRaw(img.org, img.data)
@@ -160,6 +171,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		final.Regs[guest.EAX], final.Regs[guest.EBX], final.Regs[guest.ECX],
 		final.Regs[guest.EDX], final.Regs[guest.ESI], final.Regs[guest.EDI])
 	switch {
+	case errors.Is(runErr, cms.ErrCancelled):
+		fmt.Fprintf(stderr, "cmsrun: %v (deadline %dms, %d guest insns retired)\n", runErr, *deadline, m.GuestTotal())
+		return exitTimeout
 	case errors.Is(runErr, cms.ErrBudget):
 		fmt.Fprintln(stderr, "cmsrun:", runErr)
 		return exitBudget

@@ -4,12 +4,23 @@
 //
 //	cmsserve -addr :8086 -vms 4
 //
-//	POST /v1/jobs        {"workload":"eqntott"} or {"source":"...", "budget":N}
-//	                     → 202 {job}, 400 bad spec, 429 queue full
+//	POST /v1/jobs        {"workload":"eqntott"} or {"source":"...", "budget":N,
+//	                      "deadline_ms":N, "inject_seed":N, "chaos_panics":bool}
+//	                     → 202 {job}, 400 bad spec, 429 queue full,
+//	                       503 draining or circuit breaker open
 //	GET  /v1/jobs        → all jobs in submission order
 //	GET  /v1/jobs/{id}   → one job (includes result when done)
 //	GET  /metrics        → Prometheus text exposition
-//	GET  /healthz        → 200 ok
+//	GET  /healthz        → 200 ok (process is up)
+//	GET  /readyz         → 200 accepting work, 503 draining or breaker open
+//
+// Every 4xx/5xx body is JSON with a machine-readable "code" field
+// ("bad_json", "bad_spec", "queue_full", "draining", "breaker_open",
+// "not_found") plus a human "error" message. 429 means transient
+// backpressure on a healthy farm (retry the same instance soon); 503 with
+// "draining" means this instance is going away (Retry-After hints when to
+// look elsewhere); 503 with "breaker_open" means the farm is shedding load
+// after a failure storm and will self-heal via admission probes.
 //
 // SIGTERM/SIGINT stops admission, drains every queued and running VM to
 // completion, and exits 0.
@@ -47,7 +58,26 @@ func (s *server) routes() *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.ready)
 	return mux
+}
+
+// ready is the load-balancer signal: /healthz says the process is alive,
+// /readyz says it will actually accept a job right now. Draining and an open
+// circuit breaker both fail readiness so new traffic routes elsewhere while
+// in-flight jobs finish (degraded mode).
+func (s *server) ready(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.farm.Draining():
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, codeDraining, farm.ErrDraining.Error())
+	case s.farm.Stats().BreakerOpen:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, codeBreakerOpen, farm.ErrBreakerOpen.Error())
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -58,27 +88,46 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// Machine-readable error codes carried in every 4xx/5xx body, so clients
+// branch on "code" instead of parsing human-facing messages.
+const (
+	codeBadJSON     = "bad_json"
+	codeBadSpec     = "bad_spec"
+	codeQueueFull   = "queue_full"
+	codeDraining    = "draining"
+	codeBreakerOpen = "breaker_open"
+	codeNotFound    = "not_found"
+)
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]string{"code": code, "error": msg})
 }
 
 func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 	var spec farm.JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		writeError(w, http.StatusBadRequest, codeBadJSON, "bad JSON: "+err.Error())
 		return
 	}
 	v, err := s.farm.Submit(spec)
 	switch {
 	case errors.Is(err, farm.ErrQueueFull):
 		// Backpressure: the admission queue is bounded; tell the client to
-		// come back rather than buffering unboundedly.
+		// come back rather than buffering unboundedly. 429, not 503: the
+		// farm is healthy, the client is just ahead of it.
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeError(w, http.StatusTooManyRequests, codeQueueFull, err.Error())
 	case errors.Is(err, farm.ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		// This instance is going away for good; point clients elsewhere.
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, codeDraining, err.Error())
+	case errors.Is(err, farm.ErrBreakerOpen):
+		// Degraded: shedding load after a failure storm. Self-heals via
+		// probes, so a short Retry-After is honest.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, codeBreakerOpen, err.Error())
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, codeBadSpec, err.Error())
 	default:
 		writeJSON(w, http.StatusAccepted, v)
 	}
@@ -91,7 +140,7 @@ func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
 func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
 	v, ok := s.farm.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -108,15 +157,19 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth")
 	storeAtoms := flag.Int("store-atoms", 0, "shared store budget in code atoms (0 = default)")
 	pipeWorkers := flag.Int("pipeline-workers", 0, "translation pipeline workers per VM (0 = synchronous)")
+	incidentDir := flag.String("incidents", "", "directory for replayable incident bundles (empty = disabled)")
+	stormThreshold := flag.Uint("storm-threshold", 16, "rollback-storm quarantine threshold per shared artifact (0 = off)")
 	flag.Parse()
 
 	cfg := cms.DefaultConfig()
 	cfg.PipelineWorkers = *pipeWorkers
+	cfg.RollbackStormThreshold = uint32(*stormThreshold)
 	f := farm.New(farm.Config{
 		MaxVMs:        *vms,
 		QueueDepth:    *queue,
 		StoreCapAtoms: *storeAtoms,
 		Engine:        cfg,
+		IncidentDir:   *incidentDir,
 	})
 
 	srv := &http.Server{Addr: *addr, Handler: (&server{farm: f}).routes()}
@@ -141,6 +194,6 @@ func main() {
 	}
 	<-done
 	st := f.Stats()
-	log.Printf("cmsserve: drained: %d done, %d failed, dedup %.1f%%",
-		st.Done, st.Failed, 100*st.Store.DedupRatio())
+	log.Printf("cmsserve: drained: %d done, %d failed, %d timed out, %d incidents, dedup %.1f%%",
+		st.Done, st.Failed, st.Timeouts, st.Incidents, 100*st.Store.DedupRatio())
 }

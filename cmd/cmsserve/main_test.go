@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -186,4 +187,135 @@ func TestListAndHealth(t *testing.T) {
 func jsonString(s string) string {
 	b, _ := json.Marshal(s)
 	return string(b)
+}
+
+// TestErrorCodes is the API error contract, table-driven: every 4xx/5xx
+// response carries a JSON body with a machine-readable "code" and a human
+// "error" message, with the right status and Retry-After semantics — 429 for
+// healthy backpressure, 503 for draining (terminal) and an open breaker
+// (degraded, self-healing).
+func TestErrorCodes(t *testing.T) {
+	slow := strings.Replace(smokeSource, "20000", "5000000", 1)
+
+	healthy := func(t *testing.T) *httptest.Server {
+		ts, _ := newTestServer(t, farm.Config{MaxVMs: 1})
+		return ts
+	}
+	drained := func(t *testing.T) *httptest.Server {
+		ts, f := newTestServer(t, farm.Config{MaxVMs: 1})
+		f.Drain()
+		return ts
+	}
+	congested := func(t *testing.T) *httptest.Server {
+		// One slot, queue depth 1: submit slow jobs until one is refused, so
+		// the queue is provably full — and stays full, because the runner is
+		// grinding on a multi-second job — when the table's POST arrives.
+		ts, f := newTestServer(t, farm.Config{MaxVMs: 1, QueueDepth: 1})
+		if _, err := f.Submit(farm.JobSpec{Source: slow}); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for f.Stats().Active != 1 {
+			if time.Now().After(deadline) {
+				t.Fatal("runner never picked up the slow job")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		for i := 0; ; i++ {
+			_, err := f.Submit(farm.JobSpec{Source: slow})
+			if errors.Is(err, farm.ErrQueueFull) {
+				break
+			}
+			if err != nil || i > 4 {
+				t.Fatalf("could not congest the farm: submit %d = %v", i, err)
+			}
+		}
+		return ts
+	}
+	broken := func(t *testing.T) *httptest.Server {
+		// A full window of failures opens the circuit breaker; the default
+		// probe period (8) keeps the table's single request shed.
+		ts, f := newTestServer(t, farm.Config{MaxVMs: 1, BreakerWindow: 2})
+		for i := 0; i < 2; i++ {
+			if _, err := f.Submit(farm.JobSpec{Source: "not a program"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Wait()
+		if !f.Stats().BreakerOpen {
+			t.Fatal("breaker did not open")
+		}
+		return ts
+	}
+
+	cases := []struct {
+		name       string
+		setup      func(*testing.T) *httptest.Server
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+		wantRetry  bool
+	}{
+		{"bad json", healthy, "POST", "/v1/jobs", `{`, http.StatusBadRequest, "bad_json", false},
+		{"empty spec", healthy, "POST", "/v1/jobs", `{}`, http.StatusBadRequest, "bad_spec", false},
+		{"unknown workload", healthy, "POST", "/v1/jobs", `{"workload":"nope"}`, http.StatusBadRequest, "bad_spec", false},
+		{"workload and source", healthy, "POST", "/v1/jobs", `{"workload":"eqntott","source":"hlt"}`, http.StatusBadRequest, "bad_spec", false},
+		{"missing job", healthy, "GET", "/v1/jobs/job-999999", "", http.StatusNotFound, "not_found", false},
+		{"queue full", congested, "POST", "/v1/jobs", `{"workload":"eqntott"}`, http.StatusTooManyRequests, "queue_full", true},
+		{"draining submit", drained, "POST", "/v1/jobs", `{"workload":"eqntott"}`, http.StatusServiceUnavailable, "draining", true},
+		{"draining readyz", drained, "GET", "/readyz", "", http.StatusServiceUnavailable, "draining", true},
+		{"breaker submit", broken, "POST", "/v1/jobs", `{"workload":"eqntott"}`, http.StatusServiceUnavailable, "breaker_open", true},
+		{"breaker readyz", broken, "GET", "/readyz", "", http.StatusServiceUnavailable, "breaker_open", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := tc.setup(t)
+			var resp *http.Response
+			var err error
+			switch tc.method {
+			case "POST":
+				resp, err = http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			default:
+				resp, err = http.Get(ts.URL + tc.path)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var body struct {
+				Code  string `json:"code"`
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if body.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", body.Code, tc.wantCode)
+			}
+			if body.Error == "" {
+				t.Error("error body has no human message")
+			}
+			if got := resp.Header.Get("Retry-After") != ""; got != tc.wantRetry {
+				t.Errorf("Retry-After present = %v, want %v", got, tc.wantRetry)
+			}
+		})
+	}
+}
+
+// TestReadyzHealthy pins the happy-path readiness signal.
+func TestReadyzHealthy(t *testing.T) {
+	ts, _ := newTestServer(t, farm.Config{MaxVMs: 1})
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("readyz on a healthy farm = %d", r.StatusCode)
+	}
 }

@@ -32,6 +32,12 @@ type FarmPerf struct {
 	DedupRatio  float64 `json:"dedup_ratio"`
 	StoreHits   uint64  `json:"store_hits"`
 	StoreMisses uint64  `json:"store_misses"`
+	// Fault-containment outcomes during the sweep. All zero on a healthy
+	// level (and the sweep fails on any failure), but recorded so the perf
+	// trajectory would show a farm that started failing or retrying.
+	Failures uint64 `json:"farm_failures"`
+	Retries  uint64 `json:"farm_retries"`
+	Timeouts uint64 `json:"farm_timeouts"`
 }
 
 // FarmThroughput measures serving throughput at each concurrency level:
@@ -70,6 +76,9 @@ func FarmThroughput() ([]FarmPerf, error) {
 			DedupRatio:  st.Store.DedupRatio(),
 			StoreHits:   st.Store.Hits + st.Store.Waits,
 			StoreMisses: st.Store.Misses,
+			Failures:    st.Failed,
+			Retries:     st.Retries,
+			Timeouts:    st.Timeouts,
 		})
 	}
 	return out, nil

@@ -2,8 +2,10 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"cms/internal/cms"
@@ -30,6 +32,12 @@ type WorkloadPerf struct {
 	// backend's win stays visible across PRs. Zero in records written before
 	// the compiled backend existed.
 	NsPerRunInterp int64 `json:"ns_per_run_interp,omitempty"`
+	// NsPerRunGuarded is NsPerRun in the farm's fault-containment shape: the
+	// cooperative cancel hook armed (never firing) and the engine run inside
+	// a recover() wrapper. The delta against NsPerRun is the watchdog +
+	// panic-isolation tax on a hot kernel — the -baseline gate requires it
+	// under 2%. Zero in records written before fault containment existed.
+	NsPerRunGuarded int64 `json:"ns_per_run_guarded,omitempty"`
 	// GuestInsns is the simulated work per run (identical across modes).
 	GuestInsns uint64 `json:"guest_insns"`
 	// MguestPerSec is simulation throughput (sync engine): millions of
@@ -94,11 +102,16 @@ func Perf(runs int) (*PerfRecord, error) {
 		if err != nil {
 			return nil, err
 		}
+		guarded, err := timeRunsGuarded(w, cms.DefaultConfig(), runs)
+		if err != nil {
+			return nil, err
+		}
 		rec.Workloads = append(rec.Workloads, WorkloadPerf{
 			Name:              name,
 			NsPerRun:          sync,
 			NsPerRunPipelined: piped,
 			NsPerRunInterp:    interp,
+			NsPerRunGuarded:   guarded,
 			GuestInsns:        guest,
 			MguestPerSec:      float64(guest) / (float64(sync) / 1e9) / 1e6,
 		})
@@ -136,6 +149,62 @@ func timeRuns(w workload.Workload, cfg cms.Config, n int) (best int64, guest uin
 		guest = r.Metrics.GuestTotal()
 	}
 	return best, guest, nil
+}
+
+// timeRunsGuarded is timeRuns in the farm runner's fault-containment shape:
+// the cancel hook is armed with a never-set atomic flag (the watchdog's idle
+// state) and the engine runs under a recover() wrapper, so the measured
+// number is what serving actually pays per job when nothing goes wrong.
+func timeRunsGuarded(w workload.Workload, cfg cms.Config, n int) (best int64, err error) {
+	var cancelled atomic.Bool
+	cfg.Cancel = cancelled.Load
+	for i := 0; i < n; i++ {
+		runtime.GC()
+		t0 := time.Now()
+		rerr := func() (rerr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					rerr = fmt.Errorf("bench: %s panicked under guard: %v", w.Name, r)
+				}
+			}()
+			_, rerr = Run(w, cfg)
+			return rerr
+		}()
+		d := time.Since(t0).Nanoseconds()
+		if rerr != nil {
+			return 0, rerr
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// GuardDelta is one workload's watchdog + panic-isolation overhead.
+type GuardDelta struct {
+	Name               string
+	PlainNs, GuardedNs int64
+	// Pct is the signed overhead percentage; positive means the guarded run
+	// is slower.
+	Pct float64
+}
+
+// GuardOverhead compares each workload's guarded and plain timings within
+// one record and reports the worst overhead percentage. Workloads without a
+// guarded measurement (old records) are skipped.
+func GuardOverhead(rec *PerfRecord) (deltas []GuardDelta, worst float64) {
+	for _, w := range rec.Workloads {
+		if w.NsPerRun == 0 || w.NsPerRunGuarded == 0 {
+			continue
+		}
+		pct := 100 * (float64(w.NsPerRunGuarded) - float64(w.NsPerRun)) / float64(w.NsPerRun)
+		deltas = append(deltas, GuardDelta{Name: w.Name, PlainNs: w.NsPerRun, GuardedNs: w.NsPerRunGuarded, Pct: pct})
+		if pct > worst {
+			worst = pct
+		}
+	}
+	return deltas, worst
 }
 
 // WritePerfJSON renders the record as indented JSON.

@@ -9,6 +9,8 @@
 package cms
 
 import (
+	"time"
+
 	"cms/internal/tcache"
 	"cms/internal/vliw"
 	"cms/internal/xlate"
@@ -111,6 +113,35 @@ type Config struct {
 	// eviction) for fault-injection testing; see hooks.go. Injection must
 	// not change final guest state — only Metrics and wall clock.
 	Injector Injector
+
+	// Cancel, when non-nil, is the cooperative preemption hook: the engine
+	// polls it at the first commit boundary after every CancelQuantum
+	// retired guest instructions, and a true return stops Run with
+	// ErrCancelled at that committed boundary. The farm's per-job watchdog
+	// arms it with an atomic deadline flag. Placement matters for the hot
+	// path: the poll costs one uint64 compare per dispatch/chain boundary
+	// when idle and nothing at all is charged to the simulated Metrics, so a
+	// run that is never cancelled is bit-identical to one with no hook (see
+	// docs/INTERNALS.md).
+	Cancel func() bool
+
+	// CancelQuantum is the polling step, in retired guest instructions
+	// (0 = default 4096). Smaller quanta preempt sooner but call Cancel more
+	// often; the default polls a few hundred times per simulated millisecond
+	// of guest work.
+	CancelQuantum uint64
+
+	// RollbackStormThreshold, when non-zero and a SharedStore is configured,
+	// quarantines a translation's content key after that many rollback-class
+	// faults have hit one installed copy of it — a rollback storm. The
+	// poisoned key stops the artifact cascading to other VMs; poisoning is
+	// wall-clock-only (re-translation charges the same simulated cost), so
+	// Metrics stay bit-identical to a solo run.
+	RollbackStormThreshold uint32
+
+	// PoisonTTL is how long storm- or panic-implicated keys stay
+	// quarantined (0 = tcache.DefaultPoisonTTL).
+	PoisonTTL time.Duration
 }
 
 // DefaultConfig returns the standard configuration.
@@ -150,6 +181,9 @@ func (c Config) normalized() Config {
 	}
 	if c.IndTCHitCost == 0 {
 		c.IndTCHitCost = 2
+	}
+	if c.CancelQuantum == 0 {
+		c.CancelQuantum = 4096
 	}
 	return c
 }

@@ -33,6 +33,15 @@ type Engine struct {
 	budget uint64
 	err    error
 
+	// nextCancel is the retired-instruction count at which the cooperative
+	// cancel hook is next polled — MaxUint64 when no hook is configured, so
+	// the hot-path test is a single always-false compare.
+	nextCancel uint64
+	// curEnt is the translation most recently entered by translated
+	// execution; a supervisor recovering a panic reads it (ImplicatedKey)
+	// to name the artifact to quarantine.
+	curEnt *tcache.Entry
+
 	// Concurrent translation pipeline state (nil/empty in synchronous
 	// mode); see pipeline.go.
 	pipe     *xlate.Pipeline
@@ -51,6 +60,12 @@ type Engine struct {
 // ErrBudget reports that Run stopped because the instruction budget was
 // exhausted rather than because the guest halted.
 var ErrBudget = errors.New("cms: guest instruction budget exhausted")
+
+// ErrCancelled reports that Run stopped because the Config.Cancel hook asked
+// it to — typically a serving-layer watchdog whose wall-clock deadline
+// expired. The guest state is consistent at the committed boundary where the
+// poll fired.
+var ErrCancelled = errors.New("cms: run cancelled by watchdog")
 
 // New builds an engine over a platform, with the guest entry point set.
 func New(plat *dev.Platform, entry uint32, cfg Config) *Engine {
@@ -109,6 +124,10 @@ func (e *Engine) site(entry uint32) *site {
 // ErrBudget if the budget ran out.
 func (e *Engine) Run(maxGuest uint64) error {
 	e.budget = maxGuest
+	e.nextCancel = ^uint64(0)
+	if e.Cfg.Cancel != nil {
+		e.nextCancel = e.Metrics.GuestTotal() + e.Cfg.CancelQuantum
+	}
 	if e.Cfg.PipelineWorkers > 0 && !e.Cfg.NoTranslate {
 		e.startPipeline()
 		defer e.stopPipeline()
@@ -122,6 +141,9 @@ func (e *Engine) Run(maxGuest uint64) error {
 		}
 		if e.Interp.CPU.Halted {
 			return nil
+		}
+		if e.Metrics.GuestTotal() >= e.nextCancel && e.pollCancel() {
+			return e.err
 		}
 		eip := e.Interp.CPU.EIP
 		if ent := e.Cache.Lookup(eip); ent != nil {
@@ -151,6 +173,19 @@ func (e *Engine) Run(maxGuest uint64) error {
 		return nil
 	}
 	return ErrBudget
+}
+
+// pollCancel consults the cooperative cancel hook at a committed boundary.
+// A true return records ErrCancelled; a false return re-arms the quantum.
+// The false path touches no Metrics field, so a run that is polled but never
+// cancelled stays bit-identical to one with no hook at all.
+func (e *Engine) pollCancel() bool {
+	if e.Cfg.Cancel() {
+		e.err = ErrCancelled
+		return true
+	}
+	e.nextCancel = e.Metrics.GuestTotal() + e.Cfg.CancelQuantum
+	return false
 }
 
 // stepInterp interprets one instruction boundary, resolving protection hits.
@@ -273,6 +308,10 @@ func (e *Engine) runTranslated(ent *tcache.Entry) {
 	e.Machine.LoadGuest(&cpu.Regs, cpu.Flags, cpu.EIP)
 	cur := ent
 	for {
+		// Remember the translation being entered: if a host bug panics out
+		// of the compiled closure below, the recovering supervisor reads
+		// this to quarantine the implicated shared artifact.
+		e.curEnt = cur
 		if e.Cfg.Injector != nil && e.injectAt(cur) {
 			return
 		}
@@ -346,12 +385,23 @@ func (e *Engine) runTranslated(ent *tcache.Entry) {
 		}
 
 		// Chained loops can run entirely inside the cache; surface to the
-		// dispatcher when the instruction budget runs out.
-		if e.Metrics.GuestTotal() >= e.budget {
-			e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
-			cpu.EIP = target
-			e.Metrics.DispatchReturns++
-			return
+		// dispatcher when the instruction budget runs out, and poll the
+		// cancel hook here too — this is the only boundary a chained loop
+		// ever crosses, so watchdog preemption must reach it. The common
+		// case pays one extra compare against nextCancel (MaxUint64 when no
+		// hook is armed).
+		if gt := e.Metrics.GuestTotal(); gt >= e.budget || gt >= e.nextCancel {
+			if gt >= e.budget {
+				e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+				cpu.EIP = target
+				e.Metrics.DispatchReturns++
+				return
+			}
+			if e.pollCancel() {
+				e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+				cpu.EIP = target
+				return
+			}
 		}
 
 		var next *tcache.Entry
@@ -438,8 +488,30 @@ func (e *Engine) injectAt(cur *tcache.Entry) bool {
 		e.Cache.Invalidate(cur)
 		e.reconcileProtection(cur)
 		return true
+	case InjectPanic:
+		// Commit the boundary state first so a recovering supervisor sees a
+		// consistent CPU, then blow up the way a buggy host closure would.
+		// The panic value is a pure function of this boundary, so replays
+		// reproduce it verbatim.
+		e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+		cpu.EIP = e.Machine.CommittedEIP
+		panic(&InjectedPanic{Entry: cur.T.Entry, Retired: e.Metrics.GuestTotal()})
 	}
 	return false
+}
+
+// ImplicatedKey names the shared-store artifact to quarantine after a host
+// panic: the content key of the translation most recently entered by
+// translated execution. The panic may have originated elsewhere (the
+// interpreter, the translator), but the executing translation is the best
+// single suspect, and poisoning is cheap, TTL'd, and metrics-invisible, so a
+// false positive costs only wall clock. ok is false when nothing has
+// executed yet or the translation did not come from a shared store.
+func (e *Engine) ImplicatedKey() (key xlate.Key, ok bool) {
+	if e.curEnt == nil || e.curEnt.T == nil || !e.curEnt.T.HasSharedKey {
+		return xlate.Key{}, false
+	}
+	return e.curEnt.T.SharedKey, true
 }
 
 // prologueOutcome is the result of running a self-revalidation prologue.

@@ -1,5 +1,7 @@
 package cms
 
+import "fmt"
+
 // Fault-injection hooks. The paper's recovery machinery is exercised in
 // production only when the guest happens to trip it; the hooks below let a
 // test harness (internal/fuzzer) force each recovery path at chosen commit
@@ -30,7 +32,25 @@ const (
 	// forced translation-cache eviction mid-chain. The next dispatch
 	// retranslates (or re-interprets) from the same boundary.
 	InjectEvict
+	// InjectPanic panics on the engine goroutine with an *InjectedPanic —
+	// the chaos harness's stand-in for a host bug in a compiled closure or
+	// the engine itself. Unlike the recovery-path actions above it is NOT
+	// architecturally invisible: it exists so the farm's panic-quarantine
+	// and retry machinery can be driven deterministically. The panic value
+	// is a pure function of the boundary it fires at, so a replay with the
+	// same schedule reproduces the identical panic.
+	InjectPanic
 )
+
+// InjectedPanic is the value an InjectPanic action panics with.
+type InjectedPanic struct {
+	Entry   uint32 // translation entry executing at the boundary
+	Retired uint64 // guest instructions retired when it fired
+}
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("injected panic at %#x after %d guest insns", p.Entry, p.Retired)
+}
 
 // Injector is consulted by the engine at every translated-execution commit
 // boundary: before the first translation of a dispatch and again at every

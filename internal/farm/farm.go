@@ -28,6 +28,9 @@ package farm
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,7 +38,9 @@ import (
 	"cms/internal/asm"
 	"cms/internal/cms"
 	"cms/internal/dev"
+	"cms/internal/fuzzer"
 	"cms/internal/guest"
+	"cms/internal/incident"
 	"cms/internal/tcache"
 	"cms/internal/workload"
 )
@@ -60,6 +65,25 @@ type Config struct {
 	// DefaultBudget is the guest instruction budget for source jobs and
 	// workload jobs that do not set one (default 100M).
 	DefaultBudget uint64
+
+	// IncidentDir, when non-empty, receives one JSON incident bundle per
+	// failed engine attempt (panic, watchdog timeout, or engine error) —
+	// replayable solo with `cmsfuzz -replay <bundle>`. Setup failures (a
+	// source that does not assemble) produce no bundle: no engine ran.
+	IncidentDir string
+
+	// DisableRetry turns off the rung-demoting retry: failed and panicked
+	// jobs then report their first attempt's outcome directly.
+	DisableRetry bool
+
+	// BreakerWindow sizes the circuit breaker's recent-outcome ring
+	// (0 = default 32, negative = breaker disabled). The breaker opens when
+	// the window is full and at least half its outcomes are failures or
+	// timeouts; while open, Submit sheds load with ErrBreakerOpen, admitting
+	// every BreakerProbe-th request as a probe. Any success closes it.
+	BreakerWindow int
+	// BreakerProbe is the probe admission period while open (default 8).
+	BreakerProbe int
 }
 
 func (c Config) normalized() Config {
@@ -72,6 +96,12 @@ func (c Config) normalized() Config {
 	if c.DefaultBudget == 0 {
 		c.DefaultBudget = 100_000_000
 	}
+	if c.BreakerWindow == 0 {
+		c.BreakerWindow = 32
+	}
+	if c.BreakerProbe <= 0 {
+		c.BreakerProbe = 8
+	}
 	return c
 }
 
@@ -83,6 +113,12 @@ const (
 	StatusRunning Status = "running"
 	StatusDone    Status = "done"
 	StatusFailed  Status = "failed"
+	// StatusTimeout marks a job the per-job watchdog preempted: its
+	// wall-clock deadline expired and the engine was stopped cooperatively
+	// at a committed boundary. Timeouts are terminal (no retry — a demoted
+	// rung is slower, not faster) but fully replayable from the incident
+	// bundle's retired-instruction count.
+	StatusTimeout Status = "timeout"
 )
 
 // JobSpec describes one guest VM run: a named suite workload or raw g86
@@ -94,6 +130,17 @@ type JobSpec struct {
 	Source string `json:"source,omitempty"`
 	// Budget overrides the guest instruction budget (0 = workload default).
 	Budget uint64 `json:"budget,omitempty"`
+	// DeadlineMs arms a per-job wall-clock watchdog: when it expires the
+	// engine is preempted cooperatively at the next commit boundary and the
+	// job finishes as StatusTimeout. 0 = no deadline.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// InjectSeed, when non-zero, arms a deterministic fault-injection
+	// schedule (internal/fuzzer) on the job's engine — the chaos harness's
+	// way of forcing rollbacks, alias faults, and evictions in production
+	// shape. ChaosPanics additionally injects deterministic host panics
+	// (fuzzer.NewChaosSchedule).
+	InjectSeed  uint64 `json:"inject_seed,omitempty"`
+	ChaosPanics bool   `json:"chaos_panics,omitempty"`
 }
 
 // Result is a completed VM's final architectural state and statistics.
@@ -116,6 +163,14 @@ type Result struct {
 	SharedHits   uint64 `json:"shared_hits"`
 	SharedMisses uint64 `json:"shared_misses"`
 	WallNs       int64  `json:"wall_ns"`
+
+	// Retry provenance. Attempts is how many engine attempts ran (2 when
+	// the job was retried on a demoted rung); Rung names the configuration
+	// rung that produced this result ("full", "nocompile", or "interp");
+	// RetryReason is the first attempt's failure when Attempts > 1.
+	Attempts    int    `json:"attempts,omitempty"`
+	Rung        string `json:"rung,omitempty"`
+	RetryReason string `json:"retry_reason,omitempty"`
 }
 
 // job is the farm's internal record; JobView is its API snapshot. The
@@ -126,13 +181,14 @@ type job struct {
 	id   string
 	spec JobSpec
 
-	mu       sync.Mutex
-	status   Status
-	errMsg   string
-	result   *Result
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	mu        sync.Mutex
+	status    Status
+	errMsg    string
+	result    *Result
+	incidents []string // bundle paths written for this job's failed attempts
+	created   time.Time
+	started   time.Time
+	finished  time.Time
 }
 
 // JobView is an immutable snapshot of a job for callers and the HTTP API.
@@ -146,6 +202,9 @@ type JobView struct {
 	// (0 until the job finishes) — the number the farmscale harness turns
 	// into p50/p99 serving latency.
 	LatencyNs int64 `json:"latency_ns,omitempty"`
+	// Incidents lists the replayable incident bundles written for this
+	// job's failed attempts (empty for healthy jobs or without IncidentDir).
+	Incidents []string `json:"incidents,omitempty"`
 }
 
 // view snapshots the job under its own mutex.
@@ -153,16 +212,24 @@ func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{ID: j.id, Spec: j.spec, Status: j.status, Error: j.errMsg, Result: j.result}
-	if j.status == StatusDone || j.status == StatusFailed {
+	if len(j.incidents) > 0 {
+		v.Incidents = append([]string(nil), j.incidents...)
+	}
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusTimeout {
 		v.LatencyNs = j.finished.Sub(j.created).Nanoseconds()
 	}
 	return v
 }
 
-// Errors Submit returns; cmsserve maps them to HTTP statuses.
+// Errors Submit returns; cmsserve maps them to HTTP statuses. ErrQueueFull
+// is transient backpressure (429: retry soon, same farm); ErrDraining is
+// terminal for this process (503 + Retry-After: find another); ErrBreakerOpen
+// is the circuit breaker shedding load after a failure storm (503: the farm
+// is up but degraded, probes will close the breaker when health returns).
 var (
-	ErrQueueFull = errors.New("farm: admission queue full")
-	ErrDraining  = errors.New("farm: draining, not accepting jobs")
+	ErrQueueFull   = errors.New("farm: admission queue full")
+	ErrDraining    = errors.New("farm: draining, not accepting jobs")
+	ErrBreakerOpen = errors.New("farm: circuit breaker open, shedding load")
 )
 
 // runnerCounters is one runner's slice of the farm aggregates. Each runner
@@ -170,14 +237,18 @@ var (
 // folds them on read. The atomics are uncontended in steady state, and the
 // trailing pad keeps neighbouring runners' counters off one cache line.
 type runnerCounters struct {
-	done      atomic.Uint64
-	failed    atomic.Uint64
-	guest     atomic.Uint64
-	mols      atomic.Uint64
-	xlate     atomic.Uint64
-	rollbacks atomic.Uint64
-	retrans   atomic.Uint64
-	_         [64]byte
+	done         atomic.Uint64
+	failed       atomic.Uint64
+	timeouts     atomic.Uint64 // jobs preempted by the watchdog
+	panics       atomic.Uint64 // engine attempts that panicked (may be 2 per job)
+	retries      atomic.Uint64 // rung-demoting retries started
+	retrySuccess atomic.Uint64 // retries that completed the job
+	guest        atomic.Uint64
+	mols         atomic.Uint64
+	xlate        atomic.Uint64
+	rollbacks    atomic.Uint64
+	retrans      atomic.Uint64
+	_            [64]byte
 }
 
 // Farm runs guest VMs over a shared translation store.
@@ -204,6 +275,10 @@ type Farm struct {
 	queued    atomic.Int64
 	active    atomic.Int64
 
+	incidents atomic.Uint64 // incident bundles written (rare; farm-wide)
+
+	breaker breaker
+
 	runners []runnerCounters
 }
 
@@ -216,6 +291,10 @@ func New(cfg Config) *Farm {
 		queue:   make(chan *job, cfg.QueueDepth),
 		jobs:    make(map[string]*job),
 		runners: make([]runnerCounters, cfg.MaxVMs),
+	}
+	f.breaker.init(cfg.BreakerWindow, cfg.BreakerProbe)
+	if cfg.IncidentDir != "" {
+		_ = os.MkdirAll(cfg.IncidentDir, 0o755) // best-effort; writes degrade gracefully
 	}
 	f.wg.Add(cfg.MaxVMs)
 	for i := 0; i < cfg.MaxVMs; i++ {
@@ -244,6 +323,9 @@ func (f *Farm) Submit(spec JobSpec) (JobView, error) {
 	defer f.admMu.RUnlock()
 	if f.closed {
 		return JobView{}, ErrDraining
+	}
+	if !f.breaker.admit() {
+		return JobView{}, ErrBreakerOpen
 	}
 	j := &job{
 		id:      fmt.Sprintf("job-%06d", f.seq.Add(1)),
@@ -292,6 +374,14 @@ func (f *Farm) Jobs() []JobView {
 	return out
 }
 
+// Draining reports whether admission has been closed (Drain was called) —
+// the readiness signal cmsserve's /readyz surfaces.
+func (f *Farm) Draining() bool {
+	f.admMu.RLock()
+	defer f.admMu.RUnlock()
+	return f.closed
+}
+
 // Drain stops admission and waits for every queued and running job to
 // finish — the SIGTERM path of cmsserve. Safe to call more than once.
 func (f *Farm) Drain() {
@@ -324,6 +414,18 @@ type Stats struct {
 	Failed    uint64
 	Submitted uint64
 
+	// Fault-containment counters. Timeouts are watchdog preemptions (jobs);
+	// Panics counts panicked engine attempts; Retries/RetrySuccesses track
+	// the rung-demoting retry; Incidents counts bundles written; BreakerOpen
+	// and BreakerShed describe the admission circuit breaker.
+	Timeouts       uint64
+	Panics         uint64
+	Retries        uint64
+	RetrySuccesses uint64
+	Incidents      uint64
+	BreakerOpen    bool
+	BreakerShed    uint64
+
 	Store tcache.SharedStats
 
 	// Aggregates over completed jobs.
@@ -339,11 +441,14 @@ type Stats struct {
 // call at any rate while jobs run.
 func (f *Farm) Stats() Stats {
 	st := Stats{
-		VMs:       f.cfg.MaxVMs,
-		Active:    int(f.active.Load()),
-		Queued:    int(f.queued.Load()),
-		Submitted: f.submitted.Load(),
-		Store:     f.store.Stats(),
+		VMs:         f.cfg.MaxVMs,
+		Active:      int(f.active.Load()),
+		Queued:      int(f.queued.Load()),
+		Submitted:   f.submitted.Load(),
+		Incidents:   f.incidents.Load(),
+		BreakerOpen: f.breaker.isOpen(),
+		BreakerShed: f.breaker.shedCount(),
+		Store:       f.store.Stats(),
 	}
 	if st.Queued < 0 {
 		st.Queued = 0 // transient: a runner decremented before Submit's increment landed
@@ -352,6 +457,10 @@ func (f *Farm) Stats() Stats {
 		r := &f.runners[i]
 		st.Done += r.done.Load()
 		st.Failed += r.failed.Load()
+		st.Timeouts += r.timeouts.Load()
+		st.Panics += r.panics.Load()
+		st.Retries += r.retries.Load()
+		st.RetrySuccesses += r.retrySuccess.Load()
 		st.GuestInsns += r.guest.Load()
 		st.Mols += r.mols.Load()
 		st.Translations += r.xlate.Load()
@@ -375,45 +484,148 @@ func (f *Farm) runner(slot int) {
 		j.started = time.Now()
 		j.mu.Unlock()
 
-		res, err := f.execute(j.spec)
+		f.process(j, rc)
 
-		j.mu.Lock()
-		j.finished = time.Now()
-		if err != nil {
-			j.status = StatusFailed
-			j.errMsg = err.Error()
-		} else {
-			j.status = StatusDone
-			j.result = res
-		}
-		j.mu.Unlock()
-
-		if err != nil {
-			rc.failed.Add(1)
-		} else {
-			rc.done.Add(1)
-			rc.guest.Add(res.GuestInsns)
-			rc.mols.Add(res.Mols)
-			rc.xlate.Add(res.Metrics.Translations)
-			var rb, rt uint64
-			for _, n := range res.Metrics.Faults {
-				rb += n
-			}
-			for _, n := range res.Metrics.Adaptations {
-				rt += n
-			}
-			rc.rollbacks.Add(rb)
-			rc.retrans.Add(rt)
-		}
 		f.active.Add(-1)
 	}
 }
 
-// execute runs one VM. Workload jobs are set up exactly like the solo
-// harness (internal/bench.Run) — same platform, same load, same budget — so
-// the differential test can compare farm results against solo runs
-// byte-for-byte.
-func (f *Farm) execute(spec JobSpec) (*Result, error) {
+// rungName names the conservativeness rung a configuration sits on.
+func rungName(c cms.Config) string {
+	switch {
+	case c.NoTranslate:
+		return "interp"
+	case !c.EnableCompiledBackend:
+		return "nocompile"
+	default:
+		return "full"
+	}
+}
+
+// demote returns the next more-conservative rung for the retry: the compiled
+// backend is switched off first, then translation entirely (interpreter
+// only — the always-correct reference mode, and the most isolated: nothing
+// is compiled, installed, or shared). ok is false at the bottom of the
+// ladder.
+func demote(c cms.Config) (cms.Config, string, bool) {
+	switch {
+	case c.NoTranslate:
+		return c, "interp", false
+	case c.EnableCompiledBackend:
+		c.EnableCompiledBackend = false
+		return c, "nocompile", true
+	default:
+		c.NoTranslate = true
+		c.PipelineWorkers = 0
+		return c, "interp", true
+	}
+}
+
+// process runs one job through up to two engine attempts — the configured
+// rung, then (for panics and engine errors, not timeouts) one retry on the
+// next rung down — and finalizes the job's status, counters, and breaker
+// outcome. This is the paper's speculate/recover/retranslate-conservatively
+// response lifted to whole jobs: the aggressive configuration is the
+// speculation, the recover() and watchdog are the rollback, and the demoted
+// rung is the conservative retranslation.
+func (f *Farm) process(j *job, rc *runnerCounters) {
+	out := f.attempt(j, 0, f.cfg.Engine, rungName(f.cfg.Engine))
+	countAttempt(rc, out)
+	incidents := out.incidents()
+	retried := false
+	firstErr := ""
+	if out.res == nil && out.retryable && !f.cfg.DisableRetry {
+		if demoted, drung, ok := demote(f.cfg.Engine); ok {
+			retried = true
+			firstErr = out.err.Error()
+			rc.retries.Add(1)
+			out = f.attempt(j, 1, demoted, drung)
+			countAttempt(rc, out)
+			incidents = append(incidents, out.incidents()...)
+		}
+	}
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.incidents = incidents
+	switch {
+	case out.res != nil:
+		if retried {
+			out.res.RetryReason = firstErr
+		}
+		j.status = StatusDone
+		j.result = out.res
+	case out.kind == incident.KindTimeout:
+		j.status = StatusTimeout
+		j.errMsg = out.err.Error()
+	default:
+		j.status = StatusFailed
+		j.errMsg = out.err.Error()
+	}
+	j.mu.Unlock()
+
+	switch {
+	case out.res != nil:
+		res := out.res
+		if retried {
+			rc.retrySuccess.Add(1)
+		}
+		rc.done.Add(1)
+		rc.guest.Add(res.GuestInsns)
+		rc.mols.Add(res.Mols)
+		rc.xlate.Add(res.Metrics.Translations)
+		var rb, rt uint64
+		for _, n := range res.Metrics.Faults {
+			rb += n
+		}
+		for _, n := range res.Metrics.Adaptations {
+			rt += n
+		}
+		rc.rollbacks.Add(rb)
+		rc.retrans.Add(rt)
+		f.breaker.record(false)
+	case out.kind == incident.KindTimeout:
+		rc.timeouts.Add(1)
+		f.breaker.record(true)
+	default:
+		rc.failed.Add(1)
+		f.breaker.record(true)
+	}
+}
+
+// countAttempt folds per-attempt (not per-job) outcomes into the runner's
+// counter shard.
+func countAttempt(rc *runnerCounters, out attemptOut) {
+	if out.kind == incident.KindPanic {
+		rc.panics.Add(1)
+	}
+}
+
+// attemptOut is the outcome of one engine attempt.
+type attemptOut struct {
+	res       *Result // non-nil on success
+	err       error
+	kind      string // incident.Kind* for engine failures, "" for setup errors
+	retryable bool
+	incident  string // bundle path, "" when none was written
+}
+
+func (o attemptOut) incidents() []string {
+	if o.incident == "" {
+		return nil
+	}
+	return []string{o.incident}
+}
+
+// attempt runs one VM once under engCfg. Workload jobs are set up exactly
+// like the solo harness (internal/bench.Run) — same platform, same load,
+// same budget — so the differential test can compare farm results against
+// solo runs byte-for-byte. The engine runs inside a recover() so a host
+// panic — a compiled-closure bug, or an injected chaos panic — is contained
+// to this attempt: the implicated shared artifact is poisoned, an incident
+// bundle is written, and the runner keeps serving.
+func (f *Farm) attempt(j *job, n int, engCfg cms.Config, rung string) attemptOut {
+	spec := j.spec
 	var (
 		org, entry uint32
 		data, disk []byte
@@ -425,7 +637,7 @@ func (f *Farm) execute(spec JobSpec) (*Result, error) {
 	case spec.Workload != "":
 		w, err := workload.ByName(spec.Workload)
 		if err != nil {
-			return nil, err
+			return attemptOut{err: err}
 		}
 		img := w.Build()
 		org, data, entry = img.Org, img.Data, img.Entry
@@ -433,7 +645,7 @@ func (f *Farm) execute(spec JobSpec) (*Result, error) {
 	default:
 		prog, err := asm.Assemble(spec.Source)
 		if err != nil {
-			return nil, err
+			return attemptOut{err: err}
 		}
 		org, data, entry = prog.Org, prog.Image, prog.Entry()
 		ram = 1 << 21
@@ -444,26 +656,90 @@ func (f *Farm) execute(spec JobSpec) (*Result, error) {
 		budget = spec.Budget
 	}
 
-	cfg := f.cfg.Engine
+	cfg := engCfg
 	cfg.SharedStore = f.store
+
+	var sched *fuzzer.Schedule
+	if spec.InjectSeed != 0 {
+		if spec.ChaosPanics {
+			sched = fuzzer.NewChaosSchedule(spec.InjectSeed)
+		} else {
+			sched = fuzzer.NewSchedule(spec.InjectSeed)
+		}
+		cfg.Injector = sched
+	}
+
+	// The watchdog: a timer flips an atomic flag at the deadline; the engine
+	// polls it cooperatively at commit boundaries (cms.Config.Cancel) and
+	// stops with ErrCancelled at the first boundary past expiry. The hook is
+	// armed only when a deadline was requested, so deadline-free jobs run
+	// the exact code path the solo harness does.
+	var cancelled atomic.Bool
+	if spec.DeadlineMs > 0 {
+		cfg.Cancel = cancelled.Load
+		timer := time.AfterFunc(time.Duration(spec.DeadlineMs)*time.Millisecond, func() { cancelled.Store(true) })
+		defer timer.Stop()
+	}
 
 	plat := dev.NewPlatform(ram, disk)
 	plat.Bus.WriteRaw(org, data)
+	if sched != nil {
+		plat.Bus.ForceProtHit = sched.ForceProtHit
+	}
 	e := cms.New(plat, entry, cfg)
 	if stackTop != 0 {
 		e.CPU().Regs[guest.ESP] = stackTop
 	}
 
 	t0 := time.Now()
-	runErr := e.Run(budget)
+	var (
+		runErr   error
+		panicked bool
+		panicVal interface{}
+		stack    string
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+				panicVal = r
+				stack = string(debug.Stack())
+			}
+		}()
+		runErr = e.Run(budget)
+	}()
 	wall := time.Since(t0).Nanoseconds()
-	if runErr != nil {
-		return nil, runErr
+
+	capture := func(kind, errMsg string) string {
+		return f.writeIncident(j, n, rung, kind, errMsg, stack, spec, budget,
+			incident.ImageHash(org, entry, ram, data, disk), cfg, e, plat)
+	}
+
+	switch {
+	case panicked:
+		// Contain the blast radius: quarantine the shared artifact that was
+		// executing (best single suspect) so other VMs stop importing it.
+		if key, ok := e.ImplicatedKey(); ok {
+			f.store.Poison(key, engCfg.PoisonTTL)
+		}
+		errMsg := fmt.Sprintf("panic: %v", panicVal)
+		out := attemptOut{err: errors.New(errMsg), kind: incident.KindPanic, retryable: true}
+		out.incident = capture(incident.KindPanic, errMsg)
+		return out
+	case errors.Is(runErr, cms.ErrCancelled):
+		errMsg := fmt.Sprintf("deadline of %dms exceeded after %d guest insns", spec.DeadlineMs, e.Metrics.GuestTotal())
+		out := attemptOut{err: errors.New(errMsg), kind: incident.KindTimeout}
+		out.incident = capture(incident.KindTimeout, errMsg)
+		return out
+	case runErr != nil:
+		out := attemptOut{err: runErr, kind: incident.KindError, retryable: true}
+		out.incident = capture(incident.KindError, runErr.Error())
+		return out
 	}
 
 	cpu := e.CPU()
 	hits, misses := e.SharedStats()
-	return &Result{
+	return attemptOut{res: &Result{
 		Regs:         cpu.Regs,
 		EIP:          cpu.EIP,
 		Flags:        cpu.Flags,
@@ -476,5 +752,43 @@ func (f *Farm) execute(spec JobSpec) (*Result, error) {
 		SharedHits:   hits,
 		SharedMisses: misses,
 		WallNs:       wall,
-	}, nil
+		Attempts:     n + 1,
+		Rung:         rung,
+	}}
+}
+
+// writeIncident captures a failed attempt as a replayable bundle in
+// Config.IncidentDir. Best-effort: a write failure loses the bundle, never
+// the job's status.
+func (f *Farm) writeIncident(j *job, n int, rung, kind, errMsg, stack string,
+	spec JobSpec, budget uint64, imageSHA string, cfg cms.Config,
+	e *cms.Engine, plat *dev.Platform) string {
+	if f.cfg.IncidentDir == "" {
+		return ""
+	}
+	b := &incident.Bundle{
+		Job:         j.id,
+		Time:        incident.Timestamp(time.Now()),
+		Attempt:     n,
+		Rung:        rung,
+		Kind:        kind,
+		Error:       errMsg,
+		Stack:       stack,
+		Workload:    spec.Workload,
+		Source:      spec.Source,
+		Budget:      budget,
+		DeadlineMs:  spec.DeadlineMs,
+		InjectSeed:  spec.InjectSeed,
+		ChaosPanics: spec.ChaosPanics,
+		Retired:     e.Metrics.GuestTotal(),
+		ArchSHA:     incident.StateHash(e, plat),
+		ImageSHA:    imageSHA,
+		Engine:      incident.FromCMS(cfg),
+	}
+	path := filepath.Join(f.cfg.IncidentDir, fmt.Sprintf("%s-a%d.json", j.id, n))
+	if err := b.Write(path); err != nil {
+		return ""
+	}
+	f.incidents.Add(1)
+	return path
 }

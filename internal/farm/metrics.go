@@ -54,7 +54,18 @@ func WriteMetrics(w io.Writer, f *Farm) {
 	gauge("cms_farm_jobs_queued", "Jobs admitted but not yet running.", st.Queued)
 	counter("cms_farm_jobs_done_total", "Jobs completed successfully.", st.Done)
 	counter("cms_farm_jobs_failed_total", "Jobs that ended in an error.", st.Failed)
+	counter("cms_farm_jobs_timeout_total", "Jobs preempted by the per-job watchdog deadline.", st.Timeouts)
 	counter("cms_farm_jobs_submitted_total", "Jobs admitted since start.", st.Submitted)
+	counter("cms_farm_panics_total", "Engine attempts that panicked and were contained.", st.Panics)
+	counter("cms_farm_retries_total", "Rung-demoting retries started.", st.Retries)
+	counter("cms_farm_retry_successes_total", "Retries that completed the job on a demoted rung.", st.RetrySuccesses)
+	counter("cms_farm_incidents_total", "Replayable incident bundles written.", st.Incidents)
+	open := 0
+	if st.BreakerOpen {
+		open = 1
+	}
+	gauge("cms_farm_breaker_open", "1 while the admission circuit breaker is shedding load.", open)
+	counter("cms_farm_breaker_shed_total", "Submissions shed while the breaker was open.", st.BreakerShed)
 	gauge("cms_farm_job_latency_p50_ns", "Median submit-to-completion latency over finished jobs.", p50)
 	gauge("cms_farm_job_latency_p99_ns", "99th-percentile submit-to-completion latency over finished jobs.", p99)
 
@@ -62,6 +73,9 @@ func WriteMetrics(w io.Writer, f *Farm) {
 	counter("cms_farm_store_waits_total", "Shared-store lookups that joined an in-flight translation.", st.Store.Waits)
 	counter("cms_farm_store_misses_total", "Shared-store lookups that ran the translator.", st.Store.Misses)
 	counter("cms_farm_store_evictions_total", "Artifacts evicted from the shared store.", st.Store.Evictions)
+	counter("cms_farm_store_poisons_total", "Content keys quarantined after a panic or rollback storm.", st.Store.Poisons)
+	counter("cms_farm_store_poison_hits_total", "Translation requests bypassing the store on a poisoned key.", st.Store.PoisonHits)
+	gauge("cms_farm_store_poisoned_keys", "Content keys currently quarantined.", st.Store.Poisoned)
 	gauge("cms_farm_store_entries", "Artifacts resident in the shared store.", st.Store.Entries)
 	gauge("cms_farm_store_atoms", "Code atoms resident in the shared store.", st.Store.Atoms)
 	gauge("cms_farm_store_shards", "Width of the shared store's shard array.", st.Store.Shards)

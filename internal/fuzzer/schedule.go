@@ -23,6 +23,13 @@ type Schedule struct {
 	protCount  uint64
 	protFired  bool // last consult fired; never fire twice in a row
 
+	// panicEvery, when non-zero, fires cms.InjectPanic every panicEvery-th
+	// commit boundary (chaos schedules only — an injected panic is NOT
+	// architecturally invisible; it exists to drive the farm's panic
+	// quarantine and retry machinery, never the oracle).
+	panicEvery uint64
+	panicCount uint64
+
 	actions [3]cms.InjectAction
 }
 
@@ -41,8 +48,27 @@ func NewSchedule(seed uint64) *Schedule {
 	return s
 }
 
+// NewChaosSchedule is NewSchedule plus deterministic panic injection: on top
+// of the recovery-path rotation, every panicEvery-th commit boundary fires
+// cms.InjectPanic. The panic period is derived from the seed and kept large
+// relative to the fault period, so a chaotic run exercises real recovery
+// several times before it blows up — and the blow-up lands at a
+// seed-determined boundary that an incident replay reproduces exactly.
+func NewChaosSchedule(seed uint64) *Schedule {
+	s := NewSchedule(seed)
+	r := rng{s: seed ^ 0x9E3779B97F4A7C15}
+	s.panicEvery = uint64(24 + r.n(40))
+	return s
+}
+
 // TexecBoundary implements cms.Injector.
 func (s *Schedule) TexecBoundary(entry uint32, retired uint64) cms.InjectAction {
+	if s.panicEvery > 0 {
+		s.panicCount++
+		if s.panicCount%s.panicEvery == 0 {
+			return cms.InjectPanic
+		}
+	}
 	s.count++
 	if s.count%s.period != 0 {
 		return cms.InjectNone

@@ -1,0 +1,372 @@
+// Package incident is the farm's flight recorder: every failed job —
+// watchdog timeout, host panic, or engine error — is written out as a small
+// JSON bundle carrying everything needed to re-run that exact engine
+// execution solo and bit-exactly: the job's program (workload name or raw
+// source), its budget, the fault-injection schedule seed, the full engine
+// configuration of the failing attempt, and a SHA-256 of the architectural
+// state at the point of failure. `cmsfuzz -replay <bundle>` rebuilds the run
+// and verifies both the failure mode and the state hash, so a crash observed
+// once under 200-way concurrent chaos load is debuggable at a desk with a
+// single deterministic process.
+//
+// Replayability leans on the repo's determinism contract: simulated Metrics
+// and architectural state are independent of the shared store, worker count,
+// and wall clock, so a solo replay without a store reproduces a farm
+// failure. The one wall-clock-shaped event — a watchdog timeout — is made
+// deterministic by recording the retired-instruction count at the
+// cancellation boundary and replaying with that count as the budget: the
+// engine's cancel polls fire only at boundaries the budget check also
+// visits, so both runs stop at the same committed boundary with identical
+// architectural state.
+package incident
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"cms/internal/asm"
+	"cms/internal/cms"
+	"cms/internal/dev"
+	"cms/internal/fuzzer"
+	"cms/internal/guest"
+	"cms/internal/workload"
+)
+
+// Failure kinds. A bundle's Kind selects what Replay asserts: panics must
+// reproduce the identical panic message, errors the identical error string,
+// and timeouts the identical committed boundary; all three must reproduce
+// the architectural state hash.
+const (
+	KindPanic   = "panic"
+	KindTimeout = "timeout"
+	KindError   = "error"
+)
+
+// EngineConfig is the JSON-serializable subset of cms.Config a farm engine
+// runs with. BasePolicy and Host are not captured: farm engines always run
+// the zero (default) values for both, and the serving API exposes no way to
+// set them. Zero numeric fields re-normalize to the same defaults at replay
+// that they did in the farm.
+type EngineConfig struct {
+	HotThreshold           uint64 `json:"hot_threshold,omitempty"`
+	FaultThreshold         uint32 `json:"fault_threshold,omitempty"`
+	LookupCost             uint64 `json:"lookup_cost,omitempty"`
+	TranslateCostPerInsn   uint64 `json:"translate_cost_per_insn,omitempty"`
+	EnableFineGrain        bool   `json:"enable_fine_grain,omitempty"`
+	EnableSelfReval        bool   `json:"enable_self_reval,omitempty"`
+	EnableStylized         bool   `json:"enable_stylized,omitempty"`
+	EnableGroups           bool   `json:"enable_groups,omitempty"`
+	EnableCompiledBackend  bool   `json:"enable_compiled_backend,omitempty"`
+	EnableChaining         bool   `json:"enable_chaining,omitempty"`
+	NoTranslate            bool   `json:"no_translate,omitempty"`
+	TCacheCapAtoms         int    `json:"tcache_cap_atoms,omitempty"`
+	PipelineWorkers        int    `json:"pipeline_workers,omitempty"`
+	PipelineDepth          int    `json:"pipeline_depth,omitempty"`
+	PipelineLatency        uint64 `json:"pipeline_latency,omitempty"`
+	IndTCHitCost           uint64 `json:"ind_tc_hit_cost,omitempty"`
+	CancelQuantum          uint64 `json:"cancel_quantum,omitempty"`
+	RollbackStormThreshold uint32 `json:"rollback_storm_threshold,omitempty"`
+}
+
+// FromCMS captures the replay-relevant fields of an engine configuration.
+func FromCMS(c cms.Config) EngineConfig {
+	return EngineConfig{
+		HotThreshold:           c.HotThreshold,
+		FaultThreshold:         c.FaultThreshold,
+		LookupCost:             c.LookupCost,
+		TranslateCostPerInsn:   c.TranslateCostPerInsn,
+		EnableFineGrain:        c.EnableFineGrain,
+		EnableSelfReval:        c.EnableSelfReval,
+		EnableStylized:         c.EnableStylized,
+		EnableGroups:           c.EnableGroups,
+		EnableCompiledBackend:  c.EnableCompiledBackend,
+		EnableChaining:         c.EnableChaining,
+		NoTranslate:            c.NoTranslate,
+		TCacheCapAtoms:         c.TCacheCapAtoms,
+		PipelineWorkers:        c.PipelineWorkers,
+		PipelineDepth:          c.PipelineDepth,
+		PipelineLatency:        c.PipelineLatency,
+		IndTCHitCost:           c.IndTCHitCost,
+		CancelQuantum:          c.CancelQuantum,
+		RollbackStormThreshold: c.RollbackStormThreshold,
+	}
+}
+
+// ToCMS rebuilds a cms.Config for solo replay. The farm-only hooks (shared
+// store, cancel, poison TTL) stay nil/zero: the store and wall clock are
+// outside the determinism contract, so replay does not need them.
+func (ec EngineConfig) ToCMS() cms.Config {
+	return cms.Config{
+		HotThreshold:           ec.HotThreshold,
+		FaultThreshold:         ec.FaultThreshold,
+		LookupCost:             ec.LookupCost,
+		TranslateCostPerInsn:   ec.TranslateCostPerInsn,
+		EnableFineGrain:        ec.EnableFineGrain,
+		EnableSelfReval:        ec.EnableSelfReval,
+		EnableStylized:         ec.EnableStylized,
+		EnableGroups:           ec.EnableGroups,
+		EnableCompiledBackend:  ec.EnableCompiledBackend,
+		EnableChaining:         ec.EnableChaining,
+		NoTranslate:            ec.NoTranslate,
+		TCacheCapAtoms:         ec.TCacheCapAtoms,
+		PipelineWorkers:        ec.PipelineWorkers,
+		PipelineDepth:          ec.PipelineDepth,
+		PipelineLatency:        ec.PipelineLatency,
+		IndTCHitCost:           ec.IndTCHitCost,
+		CancelQuantum:          ec.CancelQuantum,
+		RollbackStormThreshold: ec.RollbackStormThreshold,
+	}
+}
+
+// Bundle is one captured failure. Bundles are plain JSON files whose first
+// byte is '{' — that is how cmsfuzz tells them apart from the fuzzer's text
+// reproducers on the same -replay flag.
+type Bundle struct {
+	Version int    `json:"version"`
+	Job     string `json:"job"`            // farm job id ("" for solo runs)
+	Time    string `json:"time,omitempty"` // RFC3339 capture time, informational
+	Attempt int    `json:"attempt"`        // 0 = first try, 1 = rung-demoted retry
+	Rung    string `json:"rung"`           // "full" | "nocompile" | "interp"
+
+	Kind  string `json:"kind"` // KindPanic | KindTimeout | KindError
+	Error string `json:"error"`
+	// Stack is the host goroutine stack at a panic — for humans; Replay
+	// compares the panic message, not the stack.
+	Stack string `json:"stack,omitempty"`
+
+	// The job's program: exactly one of Workload/Source, as in farm.JobSpec.
+	Workload string `json:"workload,omitempty"`
+	Source   string `json:"source,omitempty"`
+	// Budget is the resolved guest-instruction budget the attempt ran with.
+	Budget uint64 `json:"budget"`
+	// DeadlineMs is the wall-clock deadline that was armed, informational.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+
+	// Fault-injection schedule, when the job armed one (chaos jobs).
+	InjectSeed  uint64 `json:"inject_seed,omitempty"`
+	ChaosPanics bool   `json:"chaos_panics,omitempty"` // schedule was NewChaosSchedule
+
+	// Retired is GuestTotal at the failure boundary. For timeouts it is the
+	// replay budget (see the package comment); for panics and errors it is
+	// informational.
+	Retired uint64 `json:"retired,omitempty"`
+
+	// ArchSHA hashes the architectural state at the failure point (StateHash);
+	// ImageSHA hashes the built guest image, so a drifted workload builder or
+	// assembler fails the replay loudly instead of silently diverging.
+	ArchSHA  string `json:"arch_sha"`
+	ImageSHA string `json:"image_sha"`
+
+	Engine EngineConfig `json:"engine"`
+}
+
+// StateHash digests everything the guest can observe — registers, EIP,
+// flags, halt state, console output, and the full RAM image — into a hex
+// SHA-256. The farm hashes the engine at the failure boundary; Replay hashes
+// the rebuilt run and compares.
+func StateHash(e *cms.Engine, plat *dev.Platform) string {
+	cpu := e.CPU()
+	h := sha256.New()
+	var w [4]byte
+	for _, r := range cpu.Regs {
+		binary.LittleEndian.PutUint32(w[:], r)
+		h.Write(w[:])
+	}
+	binary.LittleEndian.PutUint32(w[:], cpu.EIP)
+	h.Write(w[:])
+	binary.LittleEndian.PutUint32(w[:], cpu.Flags)
+	h.Write(w[:])
+	if cpu.Halted {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	h.Write([]byte(plat.Console.OutputString()))
+	h.Write(plat.Bus.ReadRaw(0, int(plat.Bus.RAMSize())))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ImageHash digests a built guest image and its placement. The farm records
+// it at capture time; Replay recomputes it from the rebuilt image so builder
+// or assembler drift fails loudly.
+func ImageHash(org, entry, ram uint32, data, disk []byte) string {
+	h := sha256.New()
+	var w [4]byte
+	for _, v := range [...]uint32{org, entry, ram} {
+		binary.LittleEndian.PutUint32(w[:], v)
+		h.Write(w[:])
+	}
+	h.Write(data)
+	h.Write(disk)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Write serializes the bundle to path (indented JSON, first byte '{').
+func (b *Bundle) Write(path string) error {
+	if b.Version == 0 {
+		b.Version = 1
+	}
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// Load reads a bundle from path.
+func Load(path string) (*Bundle, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("incident: %s: %w", path, err)
+	}
+	if b.Kind == "" {
+		return nil, fmt.Errorf("incident: %s: missing kind", path)
+	}
+	return &b, nil
+}
+
+// IsBundle reports whether the file at path looks like an incident bundle
+// (JSON object) rather than a text fuzzer reproducer.
+func IsBundle(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var first [1]byte
+	if _, err := f.Read(first[:]); err != nil {
+		return false
+	}
+	return first[0] == '{'
+}
+
+// build reconstructs the guest image for the bundle's program, mirroring the
+// farm's job setup exactly (same RAM size, stack top, and entry).
+func (b *Bundle) build() (org, entry, ram, stackTop uint32, data, disk []byte, err error) {
+	switch {
+	case b.Workload != "":
+		w, werr := workload.ByName(b.Workload)
+		if werr != nil {
+			return 0, 0, 0, 0, nil, nil, werr
+		}
+		img := w.Build()
+		return img.Org, img.Entry, img.RAM, 0, img.Data, img.Disk, nil
+	case b.Source != "":
+		prog, perr := asm.Assemble(b.Source)
+		if perr != nil {
+			return 0, 0, 0, 0, nil, nil, perr
+		}
+		ram = 1 << 21
+		return prog.Org, prog.Entry(), ram, ram / 2, prog.Image, nil, nil
+	default:
+		return 0, 0, 0, 0, nil, nil, errors.New("incident: bundle has neither workload nor source")
+	}
+}
+
+// Replay re-runs the failing attempt solo and verifies it reproduces the
+// recorded failure bit-exactly: same failure kind, same panic/error message
+// (panics and errors), and same architectural state hash. It returns nil
+// when the incident reproduced and a descriptive error otherwise.
+func Replay(b *Bundle) error {
+	org, entry, ram, stackTop, data, disk, err := b.build()
+	if err != nil {
+		return fmt.Errorf("incident: rebuild image: %w", err)
+	}
+	if b.ImageSHA != "" {
+		if got := ImageHash(org, entry, ram, data, disk); got != b.ImageSHA {
+			return fmt.Errorf("incident: rebuilt image hash %s != recorded %s (builder drifted?)", short(got), short(b.ImageSHA))
+		}
+	}
+
+	cfg := b.Engine.ToCMS()
+	plat := dev.NewPlatform(ram, disk)
+	plat.Bus.WriteRaw(org, data)
+	if b.InjectSeed != 0 {
+		var sched *fuzzer.Schedule
+		if b.ChaosPanics {
+			sched = fuzzer.NewChaosSchedule(b.InjectSeed)
+		} else {
+			sched = fuzzer.NewSchedule(b.InjectSeed)
+		}
+		cfg.Injector = sched
+		plat.Bus.ForceProtHit = sched.ForceProtHit
+	}
+	e := cms.New(plat, entry, cfg)
+	if stackTop != 0 {
+		e.CPU().Regs[guest.ESP] = stackTop
+	}
+
+	budget := b.Budget
+	if b.Kind == KindTimeout {
+		// Replay the wall-clock cancellation as a deterministic budget stop
+		// at the same committed boundary (see the package comment).
+		budget = b.Retired
+	}
+
+	var runErr error
+	panicked := false
+	panicMsg := ""
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+				panicMsg = fmt.Sprintf("panic: %v", r)
+			}
+		}()
+		runErr = e.Run(budget)
+	}()
+	gotSHA := StateHash(e, plat)
+
+	switch b.Kind {
+	case KindPanic:
+		if !panicked {
+			return fmt.Errorf("incident: expected %q, run finished with err=%v", b.Error, runErr)
+		}
+		if panicMsg != b.Error {
+			return fmt.Errorf("incident: panic message mismatch:\n  recorded %q\n  replayed %q", b.Error, panicMsg)
+		}
+	case KindTimeout:
+		if panicked {
+			return fmt.Errorf("incident: expected budget stop at %d insns, got %s", b.Retired, panicMsg)
+		}
+		if runErr != nil && !errors.Is(runErr, cms.ErrBudget) {
+			return fmt.Errorf("incident: expected budget stop at %d insns, got error %v", b.Retired, runErr)
+		}
+	case KindError:
+		if panicked {
+			return fmt.Errorf("incident: expected error %q, got %s", b.Error, panicMsg)
+		}
+		if runErr == nil || runErr.Error() != b.Error {
+			return fmt.Errorf("incident: error mismatch:\n  recorded %q\n  replayed %v", b.Error, runErr)
+		}
+	default:
+		return fmt.Errorf("incident: unknown kind %q", b.Kind)
+	}
+
+	if b.ArchSHA != "" && gotSHA != b.ArchSHA {
+		return fmt.Errorf("incident: architectural state hash mismatch: recorded %s, replayed %s", short(b.ArchSHA), short(gotSHA))
+	}
+	return nil
+}
+
+// short truncates a hash for error messages without assuming it is
+// well-formed (bundles are user-editable JSON).
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// Timestamp formats t for Bundle.Time.
+func Timestamp(t time.Time) string { return t.UTC().Format(time.RFC3339Nano) }

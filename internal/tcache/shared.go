@@ -3,9 +3,11 @@ package tcache
 import (
 	"container/list"
 	"encoding/binary"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cms/internal/xlate"
 )
@@ -55,19 +57,33 @@ const DefaultSharedCapAtoms = 4 << 20
 // costs more than lock spreading buys.
 const maxShards = 256
 
+// DefaultPoisonTTL is how long a poisoned key stays quarantined when the
+// caller does not choose a TTL. Long enough that a misbehaving artifact
+// cannot flap back into every VM, short enough that a transient host problem
+// (a since-fixed bug, a freak allocation failure) does not permanently
+// degrade a hot region to private translation.
+const DefaultPoisonTTL = 30 * time.Second
+
 // storeShard is one independent slice of the key space. Counters are
 // atomics so the miss path never takes the mutex just to count; mu guards
 // only the entry map, LRU list, in-flight table, and atom accounting.
 type storeShard struct {
-	hits      atomic.Uint64
-	waits     atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	hits       atomic.Uint64
+	waits      atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	poisons    atomic.Uint64
+	poisonHits atomic.Uint64
 
 	mu       sync.Mutex
 	entries  map[xlate.Key]*sharedEntry
 	lru      *list.List // front = most recently used; values are *sharedEntry
 	inflight map[xlate.Key]*flight
+	// poison quarantines keys until the stored deadline: lookups for a
+	// poisoned key bypass the cache AND the single-flight table, so every VM
+	// translates privately and a bad shared artifact cannot cascade. Expired
+	// deadlines are reaped lazily on lookup and in Stats.
+	poison   map[xlate.Key]time.Time
 	capAtoms int // this shard's slice of the store budget
 	curAtoms int
 
@@ -107,6 +123,14 @@ type SharedStats struct {
 	Entries   int
 	Atoms     int
 	Shards    int
+
+	// Poisons counts quarantine events (Poison calls plus backend panics
+	// converted in place); PoisonHits counts lookups that bypassed the cache
+	// because their key was quarantined; Poisoned is how many keys are
+	// quarantined right now (TTL not yet expired).
+	Poisons    uint64
+	PoisonHits uint64
+	Poisoned   int
 }
 
 // DedupRatio returns the fraction of requests served without running the
@@ -150,6 +174,7 @@ func NewSharedShards(capAtoms, shards int) *SharedStore {
 		sh.entries = make(map[xlate.Key]*sharedEntry)
 		sh.lru = list.New()
 		sh.inflight = make(map[xlate.Key]*flight)
+		sh.poison = make(map[xlate.Key]time.Time)
 		sh.capAtoms = per
 	}
 	return s
@@ -177,6 +202,18 @@ func (s *SharedStore) Translate(req *xlate.Request) (t *xlate.Translation, hit b
 	key := req.Key()
 	sh := s.shard(key)
 	sh.mu.Lock()
+	if until, bad := sh.poison[key]; bad {
+		if time.Now().Before(until) {
+			// Quarantined: translate privately for this caller — no cache,
+			// no single-flight — so a bad artifact (or a backend that panics
+			// on this input) is contained to one VM at a time.
+			sh.mu.Unlock()
+			sh.poisonHits.Add(1)
+			t, err = sh.runBackend(key, req)
+			return t, false, err
+		}
+		delete(sh.poison, key) // TTL expired: the key rejoins normal sharing
+	}
 	if e := sh.entries[key]; e != nil {
 		e.hits++
 		sh.lru.MoveToFront(e.elem)
@@ -195,16 +232,82 @@ func (s *SharedStore) Translate(req *xlate.Request) (t *xlate.Translation, hit b
 	sh.mu.Unlock()
 	sh.misses.Add(1)
 
-	f.t, f.err = req.Translate()
+	f.t, f.err = sh.runBackend(key, req)
 
 	sh.mu.Lock()
 	delete(sh.inflight, key)
 	if f.err == nil {
+		f.t.SharedKey = key
+		f.t.HasSharedKey = true
 		sh.insert(key, f.t)
 	}
 	sh.mu.Unlock()
 	close(f.done)
 	return f.t, false, f.err
+}
+
+// runBackend runs the translation backend for one key, converting a panic
+// into an error AND quarantining the key: the panic proves this content is
+// dangerous to whoever translates it, so no other VM should be handed a
+// shared artifact (or join a flight) for it until the TTL lapses. Waiters on
+// an in-flight translation receive the error like any backend failure.
+func (sh *storeShard) runBackend(key xlate.Key, req *xlate.Request) (t *xlate.Translation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.mu.Lock()
+			sh.poisonLocked(key, DefaultPoisonTTL)
+			sh.mu.Unlock()
+			t, err = nil, fmt.Errorf("tcache: translation backend panicked for key %s: %v", key, r)
+		}
+	}()
+	return req.Translate()
+}
+
+// Poison quarantines key for ttl (<= 0 means DefaultPoisonTTL): the cached
+// artifact, if any, is dropped immediately and lookups bypass the store
+// until the TTL expires. Poisoning is a wall-clock-only action — a VM that
+// misses because of it re-translates and charges the same simulated cost —
+// so callers may quarantine aggressively without perturbing Metrics.
+func (s *SharedStore) Poison(key xlate.Key, ttl time.Duration) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.poisonLocked(key, ttl)
+	sh.mu.Unlock()
+}
+
+// poisonLocked is Poison with sh.mu held.
+func (sh *storeShard) poisonLocked(key xlate.Key, ttl time.Duration) {
+	if ttl <= 0 {
+		ttl = DefaultPoisonTTL
+	}
+	if e := sh.entries[key]; e != nil {
+		sh.lru.Remove(e.elem)
+		delete(sh.entries, key)
+		sh.curAtoms -= e.atoms
+		sh.evictions.Add(1)
+	}
+	sh.poison[key] = time.Now().Add(ttl)
+	sh.poisons.Add(1)
+}
+
+// PoisonedKeys reports how many keys are currently quarantined, reaping
+// expired entries as it counts.
+func (s *SharedStore) PoisonedKeys() int {
+	now := time.Now()
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, until := range sh.poison {
+			if now.Before(until) {
+				n++
+			} else {
+				delete(sh.poison, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // insert stores an artifact under key, evicting this shard's LRU entries to
@@ -232,15 +335,25 @@ func (sh *storeShard) insert(key xlate.Key, t *xlate.Translation) {
 // Stats aggregates every shard's counters and residency into one snapshot.
 func (s *SharedStore) Stats() SharedStats {
 	st := SharedStats{Shards: len(s.shards)}
+	now := time.Now()
 	for i := range s.shards {
 		sh := &s.shards[i]
 		st.Hits += sh.hits.Load()
 		st.Waits += sh.waits.Load()
 		st.Misses += sh.misses.Load()
 		st.Evictions += sh.evictions.Load()
+		st.Poisons += sh.poisons.Load()
+		st.PoisonHits += sh.poisonHits.Load()
 		sh.mu.Lock()
 		st.Entries += len(sh.entries)
 		st.Atoms += sh.curAtoms
+		for k, until := range sh.poison {
+			if now.Before(until) {
+				st.Poisoned++
+			} else {
+				delete(sh.poison, k)
+			}
+		}
 		sh.mu.Unlock()
 	}
 	return st

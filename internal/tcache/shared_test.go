@@ -307,3 +307,79 @@ func TestSharedStoreDedupRatio(t *testing.T) {
 		t.Errorf("ratio = %v, want 0.9", r)
 	}
 }
+
+// TestSharedStorePoisonTTL covers the quarantine lifecycle: poisoning drops
+// the cached artifact and makes lookups translate privately (no cache, no
+// single-flight), every bypass is counted, and the key rejoins normal
+// sharing once the TTL lapses.
+func TestSharedStorePoisonTTL(t *testing.T) {
+	s := NewSharedShards(0, 4)
+	req := sharedReq(t, 5)
+	key := req.Key()
+	if _, hit, err := s.Translate(req); err != nil || hit {
+		t.Fatalf("prime: hit=%v err=%v", hit, err)
+	}
+	s.Poison(key, 50*time.Millisecond)
+	st := s.Stats()
+	if st.Poisons != 1 || st.Poisoned != 1 || st.Entries != 0 {
+		t.Fatalf("after poison: poisons=%d poisoned=%d entries=%d", st.Poisons, st.Poisoned, st.Entries)
+	}
+	if _, hit, err := s.Translate(sharedReq(t, 5)); err != nil || hit {
+		t.Errorf("poisoned key must translate privately: hit=%v err=%v", hit, err)
+	}
+	if st := s.Stats(); st.PoisonHits != 1 {
+		t.Errorf("poison hits = %d, want 1", st.PoisonHits)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.PoisonedKeys() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("poison TTL never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Post-expiry: the dropped artifact misses once, then shares again.
+	if _, hit, _ := s.Translate(sharedReq(t, 5)); hit {
+		t.Error("post-expiry lookup must miss: the artifact was dropped at poison time")
+	}
+	if _, hit, _ := s.Translate(sharedReq(t, 5)); !hit {
+		t.Error("key did not rejoin sharing after the TTL expired")
+	}
+}
+
+// TestSharedStorePoisonConcurrent races poisoners against translators on one
+// key under -race: no matter the interleaving, every Translate returns a
+// valid artifact or a clean private translation, and counters stay coherent.
+func TestSharedStorePoisonConcurrent(t *testing.T) {
+	s := NewSharedShards(0, 4)
+	req := sharedReq(t, 9)
+	key := req.Key()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if tl, _, err := s.Translate(sharedReq(t, 9)); err != nil || tl == nil {
+					t.Errorf("translate under poison race: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				s.Poison(key, time.Millisecond)
+				time.Sleep(500 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Poisons != 20 {
+		t.Errorf("poisons = %d, want 20", st.Poisons)
+	}
+}

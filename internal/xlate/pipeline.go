@@ -1,6 +1,9 @@
 package xlate
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Pipeline is the concurrent translation worker pool. The engine freezes a
 // Request on its own thread (Translator.Prepare), submits it, and keeps the
@@ -63,9 +66,23 @@ func NewPipeline(workers, depth int, do TranslateFunc) *Pipeline {
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
 	for pr := range p.submit {
-		t, err := p.do(pr.Req)
+		t, err := p.run(pr.Req)
 		pr.res <- pipeResult{t: t, err: err}
 	}
+}
+
+// run executes the backend for one request, converting a backend panic into
+// an error instead of killing the process: a worker goroutine has no caller
+// to recover it, so without this a single bad translation would take down
+// every VM in the farm. The engine surfaces the error through its normal
+// failed-translation path.
+func (p *Pipeline) run(req *Request) (t *Translation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			t, err = nil, fmt.Errorf("xlate: translation backend panicked at %#x: %v", req.Entry, r)
+		}
+	}()
+	return p.do(req)
 }
 
 // Submit hands a frozen request to the pool. The caller must keep its

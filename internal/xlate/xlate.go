@@ -27,6 +27,14 @@ type Translation struct {
 	// is replaced in place so stale compiled code can never run.
 	Compiled *vliw.CompiledCode
 
+	// SharedKey is the content key this artifact was stored under when it
+	// came out of a farm's shared store (HasSharedKey reports whether it
+	// did). Clones inherit it, so a VM that hits trouble while executing a
+	// store-sourced translation can name the implicated artifact for
+	// quarantine. Translations produced outside a store carry no key.
+	SharedKey    Key
+	HasSharedKey bool
+
 	// SrcRanges are the coalesced guest code byte ranges this translation
 	// was made from.
 	SrcRanges []ir.SrcRange

@@ -30,6 +30,12 @@ go test -race -run 'TestBackendDifferential' -count=1 ./internal/bench/
 # (single-flight, per-shard budgets, stats folding) must not land quietly.
 go test -race -count=1 ./internal/farm/... ./internal/tcache/...
 
+# Fault-containment chaos gate: hundreds of concurrent mixed jobs —
+# injected panics, watchdog deadlines, healthy work — through every VM
+# slot under -race, with replayable incident capture and bit-identity for
+# the healthy jobs. Run by name so the capstone cannot be renamed away.
+go test -race -count=1 -run 'TestChaosServing' ./internal/farm/
+
 # Multicore farm smoke: a short sustained-load sweep through the farmscale
 # harness at 1 and 4 VMs (GOMAXPROCS pinned per level). On a single-core
 # host this prints the loud effective-parallelism warning and still checks
@@ -64,15 +70,20 @@ cover_gate() {
 cover_gate ./internal/cms/ 78.0
 cover_gate ./internal/xlate/ 80.0
 
-# cmsserve smoke: start the daemon, drive one workload job over HTTP with
-# the servesmoke client, then SIGTERM and require a clean drain (exit 0).
+# cmsserve smoke: start the daemon with incident capture armed, drive one
+# healthy workload job plus one chaos-panic job over HTTP (the servesmoke
+# client requires the panic to be contained and an incident bundle
+# written), then SIGTERM and require a clean drain (exit 0). The captured
+# bundle is replayed solo below — the flight-recorder contract end to end.
 smokedir="${TMPDIR:-/tmp}/cms-serve-smoke"
+rm -rf "$smokedir/incidents"
 mkdir -p "$smokedir"
 go build -o "$smokedir/cmsserve" ./cmd/cmsserve
-"$smokedir/cmsserve" -addr 127.0.0.1:18086 -vms 2 >"$smokedir/log" 2>&1 &
+"$smokedir/cmsserve" -addr 127.0.0.1:18086 -vms 2 -incidents "$smokedir/incidents" >"$smokedir/log" 2>&1 &
 serve_pid=$!
 smoke_ok=0
-if go run ./scripts/servesmoke -addr http://127.0.0.1:18086; then
+smoke_out=""
+if smoke_out=$(go run ./scripts/servesmoke -addr http://127.0.0.1:18086 -chaos); then
 	smoke_ok=1
 fi
 kill -TERM "$serve_pid"
@@ -87,6 +98,16 @@ if [ "$smoke_ok" != 1 ]; then
 	exit 1
 fi
 echo "check.sh: cmsserve smoke ok"
+
+# Replay the incident the chaos smoke captured: cmsfuzz must reproduce the
+# injected panic bit-exactly from the bundle alone.
+incident=$(printf '%s\n' "$smoke_out" | sed -n 's/^servesmoke: incident //p' | head -1)
+if [ -z "$incident" ]; then
+	echo "check.sh: chaos smoke captured no incident bundle" >&2
+	exit 1
+fi
+go run ./cmd/cmsfuzz -replay "$incident"
+echo "check.sh: incident replay ok"
 
 # Build and smoke-run every example program: the examples exercise the
 # public facade end to end, including the compiled hot path.

@@ -1,9 +1,13 @@
 // Command servesmoke is the check.sh client for the cmsserve smoke test:
 // it submits one workload job over HTTP, polls until the job completes,
-// and asserts the metrics endpoint saw it. Exit 0 on success, 1 with a
+// and asserts the metrics endpoint saw it. With -chaos it additionally
+// submits a job armed with a deterministic injected panic, requires the
+// failure to be contained (job failed, daemon still ready, incident bundle
+// captured), and prints the bundle path as "servesmoke: incident PATH" so
+// check.sh can hand it to cmsfuzz -replay. Exit 0 on success, 1 with a
 // message otherwise. Stdlib only, like everything else in the repo.
 //
-// Usage: servesmoke -addr http://127.0.0.1:8086 [-workload eqntott]
+// Usage: servesmoke -addr http://127.0.0.1:8086 [-workload eqntott] [-chaos]
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8086", "cmsserve base URL")
 	wl := flag.String("workload", "eqntott", "workload to submit")
+	chaos := flag.Bool("chaos", false, "also submit a chaos-panic job and print its incident bundle path")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline")
 	flag.Parse()
 
@@ -28,7 +33,87 @@ func main() {
 		fmt.Fprintln(os.Stderr, "servesmoke:", err)
 		os.Exit(1)
 	}
+	if *chaos {
+		path, err := chaosSmoke(*addr, time.Now().Add(*timeout))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "servesmoke: chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Println("servesmoke: incident", path)
+	}
 	fmt.Println("servesmoke: ok")
+}
+
+// chaosSource is a hot loop long enough to translate; the injected schedule
+// panics at a deterministic texec boundary.
+const chaosSource = `
+.org 0x1000
+_start:
+	mov ecx, 20000
+loop:
+	add eax, 3
+	dec ecx
+	jne loop
+	hlt
+`
+
+// chaosSmoke submits one chaos-panic job and verifies the failure was
+// contained: the job fails with the panic captured, an incident bundle was
+// written, and the daemon still reports ready. Returns the bundle path.
+func chaosSmoke(addr string, deadline time.Time) (string, error) {
+	body, _ := json.Marshal(map[string]interface{}{
+		"source":       chaosSource,
+		"inject_seed":  5,
+		"chaos_panics": true,
+	})
+	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("submit: %d: %s", resp.StatusCode, raw)
+	}
+	var view struct {
+		ID        string   `json:"id"`
+		Status    string   `json:"status"`
+		Error     string   `json:"error"`
+		Incidents []string `json:"incidents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return "", err
+	}
+	for view.Status == "queued" || view.Status == "running" {
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("chaos job %s stuck in %s", view.ID, view.Status)
+		}
+		time.Sleep(25 * time.Millisecond)
+		r, err := http.Get(addr + "/v1/jobs/" + view.ID)
+		if err != nil {
+			return "", err
+		}
+		err = json.NewDecoder(r.Body).Decode(&view)
+		r.Body.Close()
+		if err != nil {
+			return "", err
+		}
+	}
+	if view.Status != "failed" || !strings.Contains(view.Error, "panic:") {
+		return "", fmt.Errorf("chaos job %s: status %s (%s), want contained panic", view.ID, view.Status, view.Error)
+	}
+	if len(view.Incidents) == 0 {
+		return "", fmt.Errorf("chaos job %s failed without an incident bundle", view.ID)
+	}
+	r, err := http.Get(addr + "/readyz")
+	if err != nil {
+		return "", err
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("daemon not ready after a contained panic: /readyz = %d", r.StatusCode)
+	}
+	return view.Incidents[0], nil
 }
 
 func smoke(addr, wl string, timeout time.Duration) error {
