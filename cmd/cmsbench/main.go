@@ -8,14 +8,18 @@
 //	cmsbench                 # run everything
 //	cmsbench -exp fig2       # one experiment: fig2, fig3, table1,
 //	                         # selfcheck, selfreval, flow, chain, faults
+//	cmsbench -exp snapshot   # checkpoint/restore costs on the hot kernels:
+//	                         # envelope bytes, save latency, warm vs cold
+//	                         # restore latency, rehydration hit rate
 //	cmsbench -workload NAME  # workload for flow/chain (default win98_boot)
 //	cmsbench -list           # list the benchmark suite
 //	cmsbench -json FILE      # write a wall-clock perf record (BENCH_*.json)
 //	cmsbench -baseline BENCH_PR1.json
 //	                         # measure and diff against a committed record;
 //	                         # exits non-zero on a >10% wall-clock regression,
-//	                         # a multicore scaling-efficiency regression, or
-//	                         # >2% watchdog/recover overhead on a hot kernel
+//	                         # a multicore scaling-efficiency regression,
+//	                         # >2% watchdog/recover overhead on a hot kernel,
+//	                         # or >1% unarmed checkpoint-support overhead
 //	                         # (combine with -json FILE to also write a record)
 //	cmsbench -exp farmscale -farmvms 1,4,8 -farmjobs 500
 //	                         # sustained-load multicore sweep: GOMAXPROCS is
@@ -53,6 +57,12 @@ const scalingToleranceEff = 0.10
 // runner's shape) must stay within this percentage of the plain run.
 const guardTolerancePct = 2.0
 
+// snapshotTolerancePct caps what checkpoint support may cost a hot kernel
+// when nobody asks for a snapshot: the snap-ready measurement (watchdog AND
+// checkpoint flags polled, neither firing) must stay within this percentage
+// of the plain guarded run.
+const snapshotTolerancePct = 1.0
+
 // parseLevels parses a "1,4,8"-style VM-level list.
 func parseLevels(s string) ([]int, error) {
 	if s == "" {
@@ -70,7 +80,7 @@ func parseLevels(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults, farm, farmscale")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults, farm, farmscale, snapshot")
 	wl := flag.String("workload", "win98_boot", "workload for the flow/chain experiments")
 	list := flag.Bool("list", false, "list the benchmark suite and exit")
 	jsonPath := flag.String("json", "", "measure wall-clock perf over the hot kernels and write a JSON record to this file")
@@ -189,6 +199,11 @@ func main() {
 				fmt.Printf("guard %-14s %10.3f ms -> %10.3f ms  %+7.2f%%\n",
 					d.Name, float64(d.PlainNs)/1e6, float64(d.GuardedNs)/1e6, d.Pct)
 			}
+			snapDeltas, snapWorst := bench.SnapshotOverhead(rec)
+			for _, d := range snapDeltas {
+				fmt.Printf("snap  %-14s %10.3f ms -> %10.3f ms  %+7.2f%%\n",
+					d.Name, float64(d.PlainNs)/1e6, float64(d.GuardedNs)/1e6, d.Pct)
+			}
 			if regressed {
 				fmt.Fprintf(os.Stderr, "cmsbench: wall-clock regression beyond %.0f%% vs %s\n",
 					regressionTolerancePct, *baseline)
@@ -204,6 +219,12 @@ func main() {
 			if worst > guardTolerancePct {
 				fmt.Fprintf(os.Stderr, "cmsbench: watchdog/recover overhead %.2f%% exceeds %.1f%% on a hot kernel\n",
 					worst, guardTolerancePct)
+				pprof.StopCPUProfile()
+				os.Exit(2)
+			}
+			if snapWorst > snapshotTolerancePct {
+				fmt.Fprintf(os.Stderr, "cmsbench: unarmed checkpoint-support overhead %.2f%% exceeds %.1f%% on a hot kernel\n",
+					snapWorst, snapshotTolerancePct)
 				pprof.StopCPUProfile()
 				os.Exit(2)
 			}
@@ -325,6 +346,14 @@ func main() {
 			return err
 		}
 		bench.WriteFarm(os.Stdout, rows)
+		return nil
+	})
+	run("snapshot", func() error {
+		rows, err := bench.SnapshotCosts()
+		if err != nil {
+			return err
+		}
+		bench.WriteSnapshot(os.Stdout, rows)
 		return nil
 	})
 	run("farmscale", func() error {

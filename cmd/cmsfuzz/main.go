@@ -7,7 +7,10 @@
 // text reproducers (seed + shrink edits), and the farm's JSON incident
 // bundles (internal/incident) — a failure captured under concurrent serving
 // load, re-run solo and verified bit-exact (same panic/error/timeout
-// boundary, same architectural state hash).
+// boundary, same architectural state hash). A bundle written for a restored
+// job embeds its checkpoint envelope, and replay resumes the serialized VM
+// instead of booting — the failure reproduces from the last checkpoint, not
+// from instruction zero (docs/SNAPSHOT.md).
 //
 // Exit status: 0 = all seeds passed / incident reproduced, 1 = divergence
 // found (reproducer written) or incident did not reproduce, 2 = usage or

@@ -14,10 +14,21 @@
 //	cmsrun -nofinegrain prog.s       # Table 1 conditions
 //	cmsrun -interp prog.s            # pure interpretation
 //
+// Checkpoint/restore: -checkpoint FILE writes a snapshot envelope
+// (internal/snapshot) when the run stops at a quiesced boundary — clean
+// halt, budget exhaustion, or deadline preemption — and -restore FILE
+// resumes one instead of loading a program. Restore must use the same
+// engine flags the capture ran with, and defaults to the captured budget
+// unless -budget is given explicitly:
+//
+//	cmsrun -budget 50000 -checkpoint half.snap prog.s   # exit 3, state saved
+//	cmsrun -budget 100000 -restore half.snap            # finishes the run
+//
 // Exit codes, so scripts can tell outcomes apart:
 //
 //	0  the guest ran to a clean hlt
-//	1  usage or tool error (bad flags, unreadable or unassemblable input)
+//	1  usage or tool error (bad flags, unreadable or unassemblable input,
+//	   corrupt or version-skewed -restore envelope)
 //	2  the guest died on an unrecoverable fault
 //	3  the instruction budget ran out before the guest halted
 //	4  the -deadline wall-clock watchdog preempted the run
@@ -38,6 +49,7 @@ import (
 	"cms/internal/cms"
 	"cms/internal/dev"
 	"cms/internal/guest"
+	"cms/internal/snapshot"
 	"cms/internal/vliw"
 )
 
@@ -66,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		budget    = flag.Uint64("budget", 100_000_000, "guest instruction budget")
 		deadline  = flag.Int64("deadline", 0, "wall-clock deadline in ms; the run is preempted cooperatively at a commit boundary (exit 4)")
 
+		checkpointPath = flag.String("checkpoint", "", "write a snapshot envelope here when the run halts, exhausts its budget, or hits -deadline")
+		restorePath    = flag.String("restore", "", "resume a snapshot envelope instead of loading a program (same engine flags as the capture)")
+
 		interpOnly  = flag.Bool("interp", false, "pure interpretation (no translation)")
 		noReorder   = flag.Bool("noreorder", false, "suppress memory reordering (Figure 2)")
 		noAliasHW   = flag.Bool("noaliashw", false, "disable alias hardware (Figure 3)")
@@ -89,9 +104,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	img, disk, entry, err := loadProgram(*imagePath, *orgFlag, *entryFlag, *diskPath, flag.Args())
-	if err != nil {
-		fmt.Fprintln(stderr, "cmsrun:", err)
+	var (
+		img   image
+		disk  []byte
+		entry uint32
+	)
+	if *restorePath == "" {
+		var err error
+		img, disk, entry, err = loadProgram(*imagePath, *orgFlag, *entryFlag, *diskPath, flag.Args())
+		if err != nil {
+			fmt.Fprintln(stderr, "cmsrun:", err)
+			return exitUsage
+		}
+	} else if *imagePath != "" || len(flag.Args()) != 0 {
+		fmt.Fprintln(stderr, "cmsrun: -restore takes no program; the snapshot carries the whole machine")
 		return exitUsage
 	}
 
@@ -119,15 +145,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer timer.Stop()
 	}
 
-	plat := dev.NewPlatform(uint32(*ram), disk)
-	plat.Bus.WriteRaw(img.org, img.data)
-	e := cms.New(plat, entry, cfg)
-	e.CPU().Regs[guest.ESP] = uint32(*ram) / 2
+	var (
+		e    *cms.Engine
+		plat *dev.Platform
+	)
+	if *restorePath != "" {
+		blob, err := os.ReadFile(*restorePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "cmsrun:", err)
+			return exitUsage
+		}
+		if e, err = snapshot.Load(blob, cfg); err != nil {
+			fmt.Fprintln(stderr, "cmsrun:", err)
+			return exitUsage
+		}
+		plat = e.Plat
+		// Unless -budget was given explicitly, resume with the captured
+		// budget: Run counts cumulative retirement, so the combined run
+		// retires exactly what an uninterrupted one would.
+		if !flagWasSet(flag, "budget") && e.Budget() > 0 {
+			*budget = e.Budget()
+		}
+	} else {
+		plat = dev.NewPlatform(uint32(*ram), disk)
+		plat.Bus.WriteRaw(img.org, img.data)
+		e = cms.New(plat, entry, cfg)
+		e.CPU().Regs[guest.ESP] = uint32(*ram) / 2
+	}
 	if *traceN > 0 {
 		e.Trace = cms.NewTrace(*traceN)
 	}
 
 	runErr := e.Run(*budget)
+
+	if *checkpointPath != "" {
+		switch {
+		case runErr == nil, errors.Is(runErr, cms.ErrBudget), errors.Is(runErr, cms.ErrCancelled):
+			blob, err := snapshot.Save(e)
+			if err == nil {
+				err = os.WriteFile(*checkpointPath, blob, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "cmsrun: checkpoint:", err)
+			} else {
+				fmt.Fprintf(stdout, "checkpoint: %d bytes after %d guest insns -> %s\n",
+					len(blob), e.Metrics.GuestTotal(), *checkpointPath)
+			}
+		default:
+			// A faulted guest is dead; a snapshot of it could never resume.
+			fmt.Fprintln(stderr, "cmsrun: not checkpointing a faulted run")
+		}
+	}
 
 	if e.Trace != nil {
 		fmt.Fprintln(stdout, "--- engine trace ---")
@@ -191,6 +259,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 type image struct {
 	org  uint32
 	data []byte
+}
+
+// flagWasSet reports whether a flag was given explicitly on the command line
+// (Visit walks only set flags).
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func loadProgram(imagePath, orgFlag, entryFlag, diskPath string, args []string) (image, []byte, uint32, error) {

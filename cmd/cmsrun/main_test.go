@@ -125,6 +125,62 @@ func TestExitUsageErrors(t *testing.T) {
 	}
 }
 
+// TestCheckpointRestoreRoundtrip splits one run across -checkpoint and
+// -restore and requires the continuation to reach the same final state a
+// solo run reports, with the restored budget defaulting to the capture's.
+func TestCheckpointRestoreRoundtrip(t *testing.T) {
+	prog := `
+.org 0x1000
+_start:
+	mov ecx, 60000
+loop:
+	add eax, 3
+	dec ecx
+	jne loop
+	hlt
+`
+	src := write(t, "p.s", prog)
+	code, solo, _ := runCmsrun(t, src)
+	if code != exitOK {
+		t.Fatalf("solo exit = %d", code)
+	}
+
+	snap := filepath.Join(t.TempDir(), "half.snap")
+	code, out, _ := runCmsrun(t, "-budget", "50000", "-checkpoint", snap, src)
+	if code != exitBudget {
+		t.Fatalf("capture exit = %d, want %d", code, exitBudget)
+	}
+	if !strings.Contains(out, "checkpoint: ") {
+		t.Fatalf("no checkpoint confirmation in %q", out)
+	}
+
+	// -budget was not given: the restore must adopt the captured budget and
+	// stop exactly where the capture did (still exit 3, zero extra insns).
+	code, _, _ = runCmsrun(t, "-restore", snap)
+	if code != exitBudget {
+		t.Fatalf("same-budget restore exit = %d, want %d", code, exitBudget)
+	}
+
+	// A raised budget finishes the run; the final state must match solo.
+	code, out, _ = runCmsrun(t, "-budget", "100000000", "-restore", snap)
+	if code != exitOK {
+		t.Fatalf("restore exit = %d", code)
+	}
+	want := solo[strings.Index(solo, "final state:"):]
+	got := out[strings.Index(out, "final state:"):]
+	if want != got {
+		t.Fatalf("final state diverged:\nsolo    %q\nrestore %q", want, got)
+	}
+
+	if code, _, _ := runCmsrun(t, "-restore", snap, src); code != exitUsage {
+		t.Errorf("-restore with a program: exit %d, want %d", code, exitUsage)
+	}
+	garbage := write(t, "bad.snap", "not a snapshot")
+	if code, _, _ := runCmsrun(t, "-restore", garbage); code != exitUsage {
+		t.Errorf("corrupt envelope: exit %d, want %d", code, exitUsage)
+	}
+}
+
 func TestLoadProgramErrors(t *testing.T) {
 	if _, _, _, err := loadProgram("", "0x1000", "", "", nil); err == nil {
 		t.Error("missing source must fail")

@@ -10,32 +10,53 @@
 //	                       503 draining or circuit breaker open
 //	GET  /v1/jobs        → all jobs in submission order
 //	GET  /v1/jobs/{id}   → one job (includes result when done)
+//	POST /v1/jobs/{id}/snapshot
+//	                     → checkpoint a queued/running job at its next commit
+//	                       boundary; the body is the snapshot envelope
+//	                       (application/octet-stream). 409 if the job finished
+//	                       first. Idempotent on checkpointed jobs.
+//	POST /v1/restore     body = snapshot envelope → 202 {job} resuming it.
+//	                       Query: budget, deadline_ms, inject_seed,
+//	                       chaos_panics (needed when the capture ran injected).
+//	POST /v1/migrate     {"job":"...","target":"http://host:port"} →
+//	                       checkpoint locally, POST the envelope to the
+//	                       target's /v1/restore, 200 {source, target} with
+//	                       both job views. 502 if the target refuses.
 //	GET  /metrics        → Prometheus text exposition
 //	GET  /healthz        → 200 ok (process is up)
 //	GET  /readyz         → 200 accepting work, 503 draining or breaker open
 //
 // Every 4xx/5xx body is JSON with a machine-readable "code" field
 // ("bad_json", "bad_spec", "queue_full", "draining", "breaker_open",
-// "not_found") plus a human "error" message. 429 means transient
-// backpressure on a healthy farm (retry the same instance soon); 503 with
-// "draining" means this instance is going away (Retry-After hints when to
-// look elsewhere); 503 with "breaker_open" means the farm is shedding load
-// after a failure storm and will self-heal via admission probes.
+// "not_found", "not_checkpointable", "migrate_failed") plus a human "error"
+// message. 429 means transient backpressure on a healthy farm (retry the
+// same instance soon); 503 with "draining" means this instance is going away
+// (Retry-After hints when to look elsewhere); 503 with "breaker_open" means
+// the farm is shedding load after a failure storm and will self-heal via
+// admission probes.
 //
-// SIGTERM/SIGINT stops admission, drains every queued and running VM to
-// completion, and exits 0.
+// SIGTERM/SIGINT stops admission and drains every queued and running VM to
+// completion, then exits 0. With -checkpoint-drain DIR the drain instead
+// preempts in-flight jobs into snapshot envelopes written to DIR (one
+// <jobid>.cmssnap each), ready to POST to another instance's /v1/restore.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +74,9 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/snapshot", s.snapshotJob)
+	mux.HandleFunc("POST /v1/restore", s.restoreJob)
+	mux.HandleFunc("POST /v1/migrate", s.migrateJob)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -97,6 +121,13 @@ const (
 	codeDraining    = "draining"
 	codeBreakerOpen = "breaker_open"
 	codeNotFound    = "not_found"
+	// codeNotCheckpointable: the job reached a terminal state before the
+	// checkpoint request landed (or does not exist as a preemptible job).
+	codeNotCheckpointable = "not_checkpointable"
+	// codeMigrateFailed: the local checkpoint succeeded but the target
+	// instance refused or failed the restore; the snapshot is still held
+	// locally and retrievable via POST /v1/jobs/{id}/snapshot.
+	codeMigrateFailed = "migrate_failed"
 )
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
@@ -110,6 +141,12 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v, err := s.farm.Submit(spec)
+	s.writeAdmission(w, v, err)
+}
+
+// writeAdmission maps an admission outcome (Submit or SubmitRestore) to the
+// HTTP response.
+func (s *server) writeAdmission(w http.ResponseWriter, v farm.JobView, err error) {
 	switch {
 	case errors.Is(err, farm.ErrQueueFull):
 		// Backpressure: the admission queue is bounded; tell the client to
@@ -131,6 +168,137 @@ func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, v)
 	}
+}
+
+// maxSnapshotBody bounds /v1/restore uploads. Snapshots are sparse (all-zero
+// RAM pages are elided) so real envelopes are far smaller than guest RAM,
+// but a hostile upload must not buffer unboundedly.
+const maxSnapshotBody = 256 << 20
+
+// snapshotJob checkpoints a queued or running job at its next commit
+// boundary and streams back the self-checking envelope. The job stays on
+// this farm as "checkpointed" (the blob remains retrievable — the call is
+// idempotent) until the process exits.
+func (s *server) snapshotJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.farm.Job(id); !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
+		return
+	}
+	v, blob, err := s.farm.Checkpoint(id)
+	if err != nil {
+		writeError(w, http.StatusConflict, codeNotCheckpointable, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-CMS-Job", v.ID)
+	_, _ = w.Write(blob)
+}
+
+// restoreSpec builds the restore-job spec from query parameters: the
+// capture's fault-injection identity (mandatory when it ran injected), plus
+// optional budget and deadline overrides.
+func restoreSpec(r *http.Request) (farm.JobSpec, error) {
+	var spec farm.JobSpec
+	q := r.URL.Query()
+	for key, dst := range map[string]*uint64{"budget": &spec.Budget, "inject_seed": &spec.InjectSeed} {
+		if v := q.Get(key); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad %s: %v", key, err)
+			}
+			*dst = n
+		}
+	}
+	if v := q.Get("deadline_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("bad deadline_ms: %v", err)
+		}
+		spec.DeadlineMs = n
+	}
+	spec.ChaosPanics = q.Get("chaos_panics") == "true"
+	return spec, nil
+}
+
+// restoreJob admits a job that resumes an uploaded snapshot envelope —
+// the receiving half of a live migration.
+func (s *server) restoreJob(w http.ResponseWriter, r *http.Request) {
+	spec, err := restoreSpec(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadSpec, err.Error())
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadJSON, "reading snapshot: "+err.Error())
+		return
+	}
+	v, err := s.farm.SubmitRestore(blob, spec)
+	s.writeAdmission(w, v, err)
+}
+
+// migrateJob moves one VM to another cmsserve instance: checkpoint locally,
+// hand the envelope to the target's /v1/restore, report both job views. The
+// restored run retires exactly the future the local one would have — the
+// target's shared store only changes how fast it gets there.
+func (s *server) migrateJob(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Job    string `json:"job"`
+		Target string `json:"target"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadJSON, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Job == "" || req.Target == "" {
+		writeError(w, http.StatusBadRequest, codeBadSpec, "migrate needs job and target")
+		return
+	}
+	if _, ok := s.farm.Job(req.Job); !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
+		return
+	}
+	v, blob, err := s.farm.Checkpoint(req.Job)
+	if err != nil {
+		writeError(w, http.StatusConflict, codeNotCheckpointable, err.Error())
+		return
+	}
+	q := url.Values{}
+	if v.Spec.InjectSeed != 0 {
+		q.Set("inject_seed", strconv.FormatUint(v.Spec.InjectSeed, 10))
+		if v.Spec.ChaosPanics {
+			q.Set("chaos_panics", "true")
+		}
+	}
+	if v.Spec.DeadlineMs > 0 {
+		q.Set("deadline_ms", strconv.FormatInt(v.Spec.DeadlineMs, 10))
+	}
+	target := strings.TrimSuffix(req.Target, "/") + "/v1/restore"
+	if len(q) > 0 {
+		target += "?" + q.Encode()
+	}
+	resp, err := http.Post(target, "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, codeMigrateFailed, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusAccepted {
+		writeError(w, http.StatusBadGateway, codeMigrateFailed,
+			fmt.Sprintf("target returned %d: %s", resp.StatusCode, body))
+		return
+	}
+	var tv farm.JobView
+	if err := json.Unmarshal(body, &tv); err != nil {
+		writeError(w, http.StatusBadGateway, codeMigrateFailed, "target response: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"source": v,
+		"target": tv,
+	})
 }
 
 func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
@@ -159,6 +327,7 @@ func main() {
 	pipeWorkers := flag.Int("pipeline-workers", 0, "translation pipeline workers per VM (0 = synchronous)")
 	incidentDir := flag.String("incidents", "", "directory for replayable incident bundles (empty = disabled)")
 	stormThreshold := flag.Uint("storm-threshold", 16, "rollback-storm quarantine threshold per shared artifact (0 = off)")
+	drainDir := flag.String("checkpoint-drain", "", "on SIGTERM, checkpoint in-flight jobs into this directory instead of running them out")
 	flag.Parse()
 
 	cfg := cms.DefaultConfig()
@@ -184,7 +353,29 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx) // stop accepting HTTP, finish in-flight requests
-		f.Drain()             // run every admitted VM to completion
+		if *drainDir != "" {
+			// Checkpoint-drain: preempt in-flight VMs into snapshot
+			// envelopes instead of running them out, so a replacement
+			// instance can resume them via /v1/restore.
+			_ = os.MkdirAll(*drainDir, 0o755)
+			views := f.CheckpointDrain()
+			saved := 0
+			for _, v := range views {
+				blob, ok := f.Snapshot(v.ID)
+				if !ok {
+					continue
+				}
+				path := filepath.Join(*drainDir, v.ID+".cmssnap")
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					log.Printf("cmsserve: writing %s: %v", path, err)
+					continue
+				}
+				saved++
+			}
+			log.Printf("cmsserve: checkpoint-drain: %d snapshots written to %s", saved, *drainDir)
+		} else {
+			f.Drain() // run every admitted VM to completion
+		}
 		close(done)
 	}()
 
@@ -194,6 +385,6 @@ func main() {
 	}
 	<-done
 	st := f.Stats()
-	log.Printf("cmsserve: drained: %d done, %d failed, %d timed out, %d incidents, dedup %.1f%%",
-		st.Done, st.Failed, st.Timeouts, st.Incidents, 100*st.Store.DedupRatio())
+	log.Printf("cmsserve: drained: %d done, %d failed, %d timed out, %d checkpointed, %d incidents, dedup %.1f%%",
+		st.Done, st.Failed, st.Timeouts, st.Checkpoints, st.Incidents, 100*st.Store.DedupRatio())
 }

@@ -31,6 +31,7 @@ import (
 	engine "cms/internal/cms"
 	"cms/internal/dev"
 	"cms/internal/guest"
+	"cms/internal/snapshot"
 	"cms/internal/workload"
 	"cms/internal/xlate"
 )
@@ -113,6 +114,28 @@ func NewSystem(prog *Program, sc SystemConfig) *System {
 
 // Console returns the guest's serial console output so far.
 func (s *System) Console() string { return s.Plat.Console.OutputString() }
+
+// Snapshot serializes the whole machine — RAM, devices, architectural state,
+// profile, Metrics, and the set of installed translations by content key —
+// into a self-checking envelope (internal/snapshot). Legal whenever Run has
+// returned: after a clean halt, budget exhaustion, or a cooperative cancel
+// (Config.Cancel) at a commit boundary. A run resumed from the envelope with
+// RestoreSystem retires exactly the instruction stream the captured machine
+// would have, with bit-identical Metrics.
+func (s *System) Snapshot() ([]byte, error) { return snapshot.Save(s.Engine) }
+
+// RestoreSystem rebuilds a machine from a Snapshot envelope. cfg must be the
+// configuration the captured engine ran with (a snapshot records state, not
+// policy). Resume with the same budget the captured run had — Run counts
+// cumulative retirement, so the combined run stops where an uninterrupted
+// one would; the restored budget is available as System.Budget().
+func RestoreSystem(blob []byte, cfg Config) (*System, error) {
+	e, err := snapshot.Load(blob, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Engine: e}, nil
+}
 
 // QuakeFrameVar is the RAM address where the Quake analog counts rendered
 // frames (see the §3.6.2 experiment).

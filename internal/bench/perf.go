@@ -38,6 +38,13 @@ type WorkloadPerf struct {
 	// panic-isolation tax on a hot kernel — the -baseline gate requires it
 	// under 2%. Zero in records written before fault containment existed.
 	NsPerRunGuarded int64 `json:"ns_per_run_guarded,omitempty"`
+	// NsPerRunSnapReady is NsPerRunGuarded with checkpoint support armed but
+	// never firing: the cancel hook polls both the watchdog flag and the
+	// checkpoint flag, the farm runner's exact serving shape. The delta
+	// against NsPerRunGuarded is what snapshot support costs a hot kernel
+	// when unused — the -baseline gate requires it under 1%. Zero in records
+	// written before checkpoint/restore existed.
+	NsPerRunSnapReady int64 `json:"ns_per_run_snapready,omitempty"`
 	// GuestInsns is the simulated work per run (identical across modes).
 	GuestInsns uint64 `json:"guest_insns"`
 	// MguestPerSec is simulation throughput (sync engine): millions of
@@ -106,12 +113,17 @@ func Perf(runs int) (*PerfRecord, error) {
 		if err != nil {
 			return nil, err
 		}
+		snapReady, err := timeRunsSnapReady(w, cms.DefaultConfig(), runs)
+		if err != nil {
+			return nil, err
+		}
 		rec.Workloads = append(rec.Workloads, WorkloadPerf{
 			Name:              name,
 			NsPerRun:          sync,
 			NsPerRunPipelined: piped,
 			NsPerRunInterp:    interp,
 			NsPerRunGuarded:   guarded,
+			NsPerRunSnapReady: snapReady,
 			GuestInsns:        guest,
 			MguestPerSec:      float64(guest) / (float64(sync) / 1e9) / 1e6,
 		})
@@ -165,6 +177,37 @@ func timeRunsGuarded(w workload.Workload, cfg cms.Config, n int) (best int64, er
 			defer func() {
 				if r := recover(); r != nil {
 					rerr = fmt.Errorf("bench: %s panicked under guard: %v", w.Name, r)
+				}
+			}()
+			_, rerr = Run(w, cfg)
+			return rerr
+		}()
+		d := time.Since(t0).Nanoseconds()
+		if rerr != nil {
+			return 0, rerr
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// timeRunsSnapReady is timeRunsGuarded with checkpoint support armed: the
+// cancel hook polls the watchdog flag and the checkpoint flag, exactly as
+// the farm runner wires every job now that any job may be told to snapshot
+// mid-run. Neither flag ever fires, so the measured number is what serving
+// pays per job for checkpointability nobody used.
+func timeRunsSnapReady(w workload.Workload, cfg cms.Config, n int) (best int64, err error) {
+	var cancelled, checkpoint atomic.Bool
+	cfg.Cancel = func() bool { return cancelled.Load() || checkpoint.Load() }
+	for i := 0; i < n; i++ {
+		runtime.GC()
+		t0 := time.Now()
+		rerr := func() (rerr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					rerr = fmt.Errorf("bench: %s panicked under snap-ready guard: %v", w.Name, r)
 				}
 			}()
 			_, rerr = Run(w, cfg)

@@ -48,6 +48,20 @@ type Engine struct {
 	pendq    []pending
 	inflight map[uint32]bool
 
+	// resumePt, when valid, records a chain-boundary transition that a
+	// cancelled run had earned but not yet performed. Run replays it before
+	// anything else, with exactly the charges the uninterrupted run would
+	// have made, so a snapshot restored at that boundary stays bit-identical
+	// to a never-interrupted run (the plain dispatch path would charge
+	// DispatchToTexec and a fresh lookup the original run never paid).
+	resumePt resumePoint
+
+	// savedPend preserves the undelivered pipeline queue of a cancelled Run
+	// (frozen requests plus original due times) so a snapshot can carry it;
+	// startPipeline resubmits it without fresh PipelineSubmits charges. See
+	// stopPipeline.
+	savedPend []savedPending
+
 	// sharedHits/sharedMisses attribute shared-store outcomes to this
 	// engine's translation requests (atomics: pipeline workers count on
 	// their own goroutines). Wall-clock-side observability for the farm's
@@ -133,6 +147,16 @@ func (e *Engine) Run(maxGuest uint64) error {
 		defer e.stopPipeline()
 	}
 	for e.Metrics.GuestTotal() < maxGuest {
+		if e.resumePt.valid && e.err == nil {
+			// A restored snapshot parked the run mid-chain: replay the
+			// pending transition before the dispatcher touches anything
+			// (draining the pipeline first would install translations the
+			// uninterrupted run only observes after the chain surfaces).
+			rp := e.resumePt
+			e.resumePt = resumePoint{}
+			e.resumeTranslated(rp)
+			continue
+		}
 		if e.pipe != nil {
 			e.drainPipeline()
 		}
@@ -301,12 +325,64 @@ func (e *Engine) protect(t *xlate.Translation) {
 	}
 }
 
+// resumePoint records a chain-boundary transition that a cancelled run had
+// reached but not yet performed: translation `entry` took exit `exit`
+// (indirect or not) committing at `target`, and the cancel hook fired before
+// the successor was resolved. Serialized in snapshots; replayed by
+// resumeTranslated.
+type resumePoint struct {
+	valid    bool
+	ent      *tcache.Entry // resolved at capture or restore; may be nil
+	entry    uint32
+	exit     int
+	indirect bool
+	target   uint32
+}
+
 // runTranslated executes translations starting at ent, following chains
 // until a fault or an exit with no cached successor.
 func (e *Engine) runTranslated(ent *tcache.Entry) {
 	cpu := &e.Interp.CPU
 	e.Machine.LoadGuest(&cpu.Regs, cpu.Flags, cpu.EIP)
-	cur := ent
+	e.texecLoop(ent)
+}
+
+// resumeTranslated replays the transition a chain-boundary cancellation left
+// pending and, if a successor resolves, continues the chain from it. The
+// charges here mirror texecLoop's transition and dispatcher-return paths
+// exactly — that equivalence is what makes a restored run's Metrics
+// bit-identical to an uninterrupted one.
+func (e *Engine) resumeTranslated(rp resumePoint) {
+	cur := rp.ent
+	if cur == nil {
+		cur = e.Cache.Peek(rp.entry)
+	}
+	if cur == nil || !cur.Valid {
+		// The translation vanished between capture and resume. This cannot
+		// happen on the snapshot path (the cache is restored verbatim);
+		// degrade to plain dispatch at the committed target.
+		return
+	}
+	cpu := &e.Interp.CPU
+	e.Machine.LoadGuest(&cpu.Regs, cpu.Flags, cpu.EIP)
+	e.curEnt = cur
+	next := e.transition(cur, rp.exit, rp.indirect, rp.target)
+	if next == nil {
+		e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
+		cpu.EIP = rp.target
+		e.Metrics.DispatchReturns++
+		e.Metrics.MolsDispatch += e.Cfg.LookupCost
+		e.Interp.Prof.Heads[rp.target]++
+		return
+	}
+	e.Machine.CommittedEIP = rp.target
+	e.texecLoop(next)
+}
+
+// texecLoop is the chained-execution loop: the machine already holds the
+// guest state, and cur is the translation to enter next.
+func (e *Engine) texecLoop(cur *tcache.Entry) {
+	cpu := &e.Interp.CPU
 	for {
 		// Remember the translation being entered: if a host bug panics out
 		// of the compiled closure below, the recovering supervisor reads
@@ -398,46 +474,25 @@ func (e *Engine) runTranslated(ent *tcache.Entry) {
 				return
 			}
 			if e.pollCancel() {
+				// The exit is taken but its transition not yet performed.
+				// Park the transition so a snapshot restored here can replay
+				// it with the exact charges the uninterrupted run would have
+				// made (see resumeTranslated).
 				e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
 				cpu.EIP = target
+				e.resumePt = resumePoint{
+					valid:    true,
+					ent:      cur,
+					entry:    cur.T.Entry,
+					exit:     out.Exit,
+					indirect: out.Indirect,
+					target:   target,
+				}
 				return
 			}
 		}
 
-		var next *tcache.Entry
-		switch {
-		case out.Indirect && e.Cfg.EnableChaining:
-			// A direct chain can't help an indirect exit (the target is
-			// data-dependent), but the per-translation inline cache can:
-			// hot indirect jumps resolve to few targets, and a hit skips
-			// the dispatcher's map lookup almost entirely.
-			if n := cur.IndirectTarget(target); n != nil {
-				next = n
-				e.Metrics.IndirectHits++
-				e.Metrics.MolsDispatch += e.Cfg.IndTCHitCost
-			} else if next = e.Cache.Lookup(target); next != nil {
-				cur.CacheIndirect(target, next)
-				e.Metrics.IndirectMisses++
-				e.Metrics.LookupTransfers++
-				e.Metrics.MolsDispatch += e.Cfg.LookupCost
-			} else {
-				e.Metrics.IndirectMisses++
-			}
-		case !out.Indirect && e.Cfg.EnableChaining:
-			if ch := cur.Chained(out.Exit); ch != nil && ch.Valid {
-				next = ch
-				e.Metrics.ChainTransfers++
-			} else if next = e.Cache.Lookup(target); next != nil {
-				e.Cache.Chain(cur, out.Exit, next)
-				e.Metrics.LookupTransfers++
-				e.Metrics.MolsDispatch += e.Cfg.LookupCost
-			}
-		default:
-			if next = e.Cache.Lookup(target); next != nil {
-				e.Metrics.LookupTransfers++
-				e.Metrics.MolsDispatch += e.Cfg.LookupCost
-			}
-		}
+		next := e.transition(cur, out.Exit, out.Indirect, target)
 		if next == nil {
 			e.Machine.StoreGuest(&cpu.Regs, &cpu.Flags)
 			cpu.EIP = target
@@ -455,6 +510,47 @@ func (e *Engine) runTranslated(ent *tcache.Entry) {
 		e.Machine.CommittedEIP = target
 		cur = next
 	}
+}
+
+// transition resolves the successor translation for one taken exit, charging
+// the chaining and lookup costs. A nil result means the chain surfaces to
+// the dispatcher.
+func (e *Engine) transition(cur *tcache.Entry, exit int, indirect bool, target uint32) *tcache.Entry {
+	var next *tcache.Entry
+	switch {
+	case indirect && e.Cfg.EnableChaining:
+		// A direct chain can't help an indirect exit (the target is
+		// data-dependent), but the per-translation inline cache can:
+		// hot indirect jumps resolve to few targets, and a hit skips
+		// the dispatcher's map lookup almost entirely.
+		if n := cur.IndirectTarget(target); n != nil {
+			next = n
+			e.Metrics.IndirectHits++
+			e.Metrics.MolsDispatch += e.Cfg.IndTCHitCost
+		} else if next = e.Cache.Lookup(target); next != nil {
+			cur.CacheIndirect(target, next)
+			e.Metrics.IndirectMisses++
+			e.Metrics.LookupTransfers++
+			e.Metrics.MolsDispatch += e.Cfg.LookupCost
+		} else {
+			e.Metrics.IndirectMisses++
+		}
+	case !indirect && e.Cfg.EnableChaining:
+		if ch := cur.Chained(exit); ch != nil && ch.Valid {
+			next = ch
+			e.Metrics.ChainTransfers++
+		} else if next = e.Cache.Lookup(target); next != nil {
+			e.Cache.Chain(cur, exit, next)
+			e.Metrics.LookupTransfers++
+			e.Metrics.MolsDispatch += e.Cfg.LookupCost
+		}
+	default:
+		if next = e.Cache.Lookup(target); next != nil {
+			e.Metrics.LookupTransfers++
+			e.Metrics.MolsDispatch += e.Cfg.LookupCost
+		}
+	}
+	return next
 }
 
 // injectAt consults the configured fault injector at a commit boundary and,

@@ -37,6 +37,16 @@ type pending struct {
 	pr    *xlate.PipeRequest
 }
 
+// savedPending is one undelivered submission preserved across a cancelled
+// Run: the frozen request and its original due time. A snapshot serializes
+// these (as request images) so a restored run can resubmit them and observe
+// the results exactly when the uninterrupted run would have.
+type savedPending struct {
+	entry uint32
+	due   uint64
+	req   *xlate.Request
+}
+
 // startPipeline brings the worker pool up for one Run. With a farm's shared
 // store configured, workers translate through the store — lookup or
 // single-flighted backend run — and hand back a per-VM clone of the frozen
@@ -60,13 +70,30 @@ func (e *Engine) startPipeline() {
 	}
 	e.pipe = xlate.NewPipeline(e.Cfg.PipelineWorkers, e.Cfg.PipelineDepth, do)
 	e.inflight = make(map[uint32]bool)
+	// Resubmit the queue a cancelled Run (or a snapshot restore) carried
+	// over: original due times, no fresh PipelineSubmits charges — the
+	// submissions were already charged when they first happened, and the
+	// restored run must observe the results at the same simulated instants
+	// the uninterrupted run would have.
+	for _, sp := range e.savedPend {
+		e.pendq = append(e.pendq, pending{entry: sp.entry, due: sp.due, pr: e.pipe.Submit(sp.req)})
+		e.inflight[sp.entry] = true
+	}
+	e.savedPend = nil
 }
 
-// stopPipeline tears the pool down at Run exit, discarding undelivered
-// results (their sites simply get resubmitted if they are still hot on a
-// later Run — a deterministic outcome, since Run boundaries are).
+// stopPipeline tears the pool down at Run exit. Normally undelivered
+// results are discarded (their sites simply get resubmitted if they are
+// still hot on a later Run — a deterministic outcome, since Run boundaries
+// are); a cancelled run instead keeps the frozen requests and due times so
+// a checkpoint can carry the in-flight queue across a restore.
 func (e *Engine) stopPipeline() {
 	e.pipe.Stop()
+	if errors.Is(e.err, ErrCancelled) {
+		for _, p := range e.pendq {
+			e.savedPend = append(e.savedPend, savedPending{entry: p.entry, due: p.due, req: p.pr.Req})
+		}
+	}
 	e.pipe = nil
 	e.pendq = nil
 	e.inflight = nil

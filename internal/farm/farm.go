@@ -41,6 +41,7 @@ import (
 	"cms/internal/fuzzer"
 	"cms/internal/guest"
 	"cms/internal/incident"
+	"cms/internal/snapshot"
 	"cms/internal/tcache"
 	"cms/internal/workload"
 )
@@ -119,6 +120,13 @@ const (
 	// rung is slower, not faster) but fully replayable from the incident
 	// bundle's retired-instruction count.
 	StatusTimeout Status = "timeout"
+	// StatusCheckpointed marks a job preempted by Checkpoint or
+	// CheckpointDrain: the engine was stopped cooperatively at a commit
+	// boundary and serialized into a snapshot envelope (internal/snapshot).
+	// The blob is retrievable with Snapshot(id) and resumable — here or on
+	// another farm — with SubmitRestore; the resumed run retires exactly the
+	// future the preempted one would have.
+	StatusCheckpointed Status = "checkpointed"
 )
 
 // JobSpec describes one guest VM run: a named suite workload or raw g86
@@ -181,10 +189,22 @@ type job struct {
 	id   string
 	spec JobSpec
 
+	// restore, when non-nil, makes the attempt resume this decoded snapshot
+	// instead of building a platform from the spec; restoreBlob keeps the
+	// original envelope so failure bundles can embed it for record-replay
+	// (both immutable after submit).
+	restore     *snapshot.Snapshot
+	restoreBlob []byte
+	// checkpoint asks the running engine to stop at its next commit boundary
+	// and serialize itself; set by Checkpoint and CheckpointDrain, polled by
+	// the attempt's cooperative cancel hook.
+	checkpoint atomic.Bool
+
 	mu        sync.Mutex
 	status    Status
 	errMsg    string
 	result    *Result
+	snap      []byte   // snapshot envelope, set when status is StatusCheckpointed
 	incidents []string // bundle paths written for this job's failed attempts
 	created   time.Time
 	started   time.Time
@@ -205,17 +225,23 @@ type JobView struct {
 	// Incidents lists the replayable incident bundles written for this
 	// job's failed attempts (empty for healthy jobs or without IncidentDir).
 	Incidents []string `json:"incidents,omitempty"`
+	// SnapshotBytes is the checkpoint envelope size for checkpointed jobs.
+	SnapshotBytes int `json:"snapshot_bytes,omitempty"`
+	// Restored marks a job submitted from a snapshot rather than an image.
+	Restored bool `json:"restored,omitempty"`
 }
 
 // view snapshots the job under its own mutex.
 func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	v := JobView{ID: j.id, Spec: j.spec, Status: j.status, Error: j.errMsg, Result: j.result}
+	v := JobView{ID: j.id, Spec: j.spec, Status: j.status, Error: j.errMsg, Result: j.result,
+		SnapshotBytes: len(j.snap), Restored: j.restore != nil}
 	if len(j.incidents) > 0 {
 		v.Incidents = append([]string(nil), j.incidents...)
 	}
-	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusTimeout {
+	switch j.status {
+	case StatusDone, StatusFailed, StatusTimeout, StatusCheckpointed:
 		v.LatencyNs = j.finished.Sub(j.created).Nanoseconds()
 	}
 	return v
@@ -240,6 +266,7 @@ type runnerCounters struct {
 	done         atomic.Uint64
 	failed       atomic.Uint64
 	timeouts     atomic.Uint64 // jobs preempted by the watchdog
+	checkpoints  atomic.Uint64 // jobs preempted into a snapshot
 	panics       atomic.Uint64 // engine attempts that panicked (may be 2 per job)
 	retries      atomic.Uint64 // rung-demoting retries started
 	retrySuccess atomic.Uint64 // retries that completed the job
@@ -319,6 +346,34 @@ func (f *Farm) Submit(spec JobSpec) (JobView, error) {
 			return JobView{}, err
 		}
 	}
+	return f.admit(spec, nil, nil)
+}
+
+// SubmitRestore admits a job that resumes a checkpoint envelope instead of
+// booting an image. spec must leave Workload and Source empty; Budget, when
+// non-zero, overrides the captured run's budget (the default resumes with the
+// same budget, so the combined run retires exactly what an uninterrupted one
+// would). If the snapshot was captured under fault injection, spec must carry
+// the same InjectSeed/ChaosPanics so the schedule can be rebuilt and
+// fast-forwarded.
+func (f *Farm) SubmitRestore(blob []byte, spec JobSpec) (JobView, error) {
+	if spec.Workload != "" || spec.Source != "" {
+		return JobView{}, errors.New("farm: restore spec must not name a workload or source")
+	}
+	s, err := snapshot.Decode(blob)
+	if err != nil {
+		return JobView{}, err
+	}
+	// Friendlier at admission than mid-attempt: an injected capture cannot
+	// resume without its schedule.
+	if len(s.Engine.Injector) > 0 && spec.InjectSeed == 0 {
+		return JobView{}, errors.New("farm: snapshot carries fault-injection state; spec must set inject_seed")
+	}
+	return f.admit(spec, s, blob)
+}
+
+// admit is the shared admission path for Submit and SubmitRestore.
+func (f *Farm) admit(spec JobSpec, restore *snapshot.Snapshot, restoreBlob []byte) (JobView, error) {
 	f.admMu.RLock()
 	defer f.admMu.RUnlock()
 	if f.closed {
@@ -328,10 +383,12 @@ func (f *Farm) Submit(spec JobSpec) (JobView, error) {
 		return JobView{}, ErrBreakerOpen
 	}
 	j := &job{
-		id:      fmt.Sprintf("job-%06d", f.seq.Add(1)),
-		spec:    spec,
-		status:  StatusQueued,
-		created: time.Now(),
+		id:          fmt.Sprintf("job-%06d", f.seq.Add(1)),
+		spec:        spec,
+		restore:     restore,
+		restoreBlob: restoreBlob,
+		status:      StatusQueued,
+		created:     time.Now(),
 	}
 	f.queued.Add(1)
 	select {
@@ -394,6 +451,76 @@ func (f *Farm) Drain() {
 	f.wg.Wait()
 }
 
+// Checkpoint asks a queued or running job to stop at its next commit
+// boundary and serialize itself, then waits for the preemption to land. On
+// success it returns the job's view and the snapshot envelope. If the job
+// reaches a different terminal state first — it halted, failed, or timed out
+// before the flag was observed — Checkpoint reports that instead of blocking.
+func (f *Farm) Checkpoint(id string) (JobView, []byte, error) {
+	f.jobsMu.RLock()
+	j, ok := f.jobs[id]
+	f.jobsMu.RUnlock()
+	if !ok {
+		return JobView{}, nil, fmt.Errorf("farm: no such job %s", id)
+	}
+	j.checkpoint.Store(true)
+	for {
+		j.mu.Lock()
+		st, snap := j.status, j.snap
+		j.mu.Unlock()
+		switch st {
+		case StatusCheckpointed:
+			return j.view(), snap, nil
+		case StatusQueued, StatusRunning:
+			time.Sleep(200 * time.Microsecond)
+		default:
+			return j.view(), nil, fmt.Errorf("farm: job %s finished as %s before checkpoint", id, st)
+		}
+	}
+}
+
+// Snapshot returns the checkpoint envelope of a checkpointed job.
+func (f *Farm) Snapshot(id string) ([]byte, bool) {
+	f.jobsMu.RLock()
+	j, ok := f.jobs[id]
+	f.jobsMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snap, len(j.snap) > 0
+}
+
+// CheckpointDrain is Drain for live migration: it stops admission, preempts
+// every queued and running job into a checkpoint rather than running it to
+// completion, waits for the runners to quiesce, and returns the views of the
+// jobs that checkpointed. Jobs that finish before the flag lands complete
+// normally and are not in the returned slice; their results stay queryable.
+func (f *Farm) CheckpointDrain() []JobView {
+	f.admMu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.queue)
+	}
+	f.admMu.Unlock()
+	f.jobsMu.RLock()
+	jobs := make([]*job, len(f.order))
+	copy(jobs, f.order)
+	f.jobsMu.RUnlock()
+	for _, j := range jobs {
+		j.checkpoint.Store(true)
+	}
+	f.wg.Wait()
+	var out []JobView
+	for _, j := range jobs {
+		if v := j.view(); v.Status == StatusCheckpointed {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // Wait blocks until every currently submitted job has finished, without
 // closing admission (tests and the bench harness).
 func (f *Farm) Wait() {
@@ -415,10 +542,12 @@ type Stats struct {
 	Submitted uint64
 
 	// Fault-containment counters. Timeouts are watchdog preemptions (jobs);
-	// Panics counts panicked engine attempts; Retries/RetrySuccesses track
-	// the rung-demoting retry; Incidents counts bundles written; BreakerOpen
+	// Checkpoints counts jobs preempted into a snapshot; Panics counts
+	// panicked engine attempts; Retries/RetrySuccesses track the
+	// rung-demoting retry; Incidents counts bundles written; BreakerOpen
 	// and BreakerShed describe the admission circuit breaker.
 	Timeouts       uint64
+	Checkpoints    uint64
 	Panics         uint64
 	Retries        uint64
 	RetrySuccesses uint64
@@ -458,6 +587,7 @@ func (f *Farm) Stats() Stats {
 		st.Done += r.done.Load()
 		st.Failed += r.failed.Load()
 		st.Timeouts += r.timeouts.Load()
+		st.Checkpoints += r.checkpoints.Load()
 		st.Panics += r.panics.Load()
 		st.Retries += r.retries.Load()
 		st.RetrySuccesses += r.retrySuccess.Load()
@@ -534,7 +664,9 @@ func (f *Farm) process(j *job, rc *runnerCounters) {
 	incidents := out.incidents()
 	retried := false
 	firstErr := ""
-	if out.res == nil && out.retryable && !f.cfg.DisableRetry {
+	// Restored jobs never retry on a demoted rung: a snapshot is only valid
+	// under the configuration it was captured with.
+	if out.res == nil && out.retryable && j.restore == nil && !f.cfg.DisableRetry {
 		if demoted, drung, ok := demote(f.cfg.Engine); ok {
 			retried = true
 			firstErr = out.err.Error()
@@ -549,6 +681,9 @@ func (f *Farm) process(j *job, rc *runnerCounters) {
 	j.finished = time.Now()
 	j.incidents = incidents
 	switch {
+	case out.snap != nil:
+		j.status = StatusCheckpointed
+		j.snap = out.snap
 	case out.res != nil:
 		if retried {
 			out.res.RetryReason = firstErr
@@ -565,6 +700,11 @@ func (f *Farm) process(j *job, rc *runnerCounters) {
 	j.mu.Unlock()
 
 	switch {
+	case out.snap != nil:
+		// A checkpoint is a healthy preemption, not a failure: the breaker
+		// must not open because a drain swept the farm.
+		rc.checkpoints.Add(1)
+		f.breaker.record(false)
 	case out.res != nil:
 		res := out.res
 		if retried {
@@ -604,6 +744,7 @@ func countAttempt(rc *runnerCounters, out attemptOut) {
 // attemptOut is the outcome of one engine attempt.
 type attemptOut struct {
 	res       *Result // non-nil on success
+	snap      []byte  // non-nil when the attempt was preempted into a checkpoint
 	err       error
 	kind      string // incident.Kind* for engine failures, "" for setup errors
 	retryable bool
@@ -633,24 +774,26 @@ func (f *Farm) attempt(j *job, n int, engCfg cms.Config, rung string) attemptOut
 		budget     uint64
 		stackTop   uint32
 	)
-	switch {
-	case spec.Workload != "":
-		w, err := workload.ByName(spec.Workload)
-		if err != nil {
-			return attemptOut{err: err}
+	if j.restore == nil {
+		switch {
+		case spec.Workload != "":
+			w, err := workload.ByName(spec.Workload)
+			if err != nil {
+				return attemptOut{err: err}
+			}
+			img := w.Build()
+			org, data, entry = img.Org, img.Data, img.Entry
+			disk, ram, budget = img.Disk, img.RAM, img.Budget
+		default:
+			prog, err := asm.Assemble(spec.Source)
+			if err != nil {
+				return attemptOut{err: err}
+			}
+			org, data, entry = prog.Org, prog.Image, prog.Entry()
+			ram = 1 << 21
+			budget = f.cfg.DefaultBudget
+			stackTop = ram / 2
 		}
-		img := w.Build()
-		org, data, entry = img.Org, img.Data, img.Entry
-		disk, ram, budget = img.Disk, img.RAM, img.Budget
-	default:
-		prog, err := asm.Assemble(spec.Source)
-		if err != nil {
-			return attemptOut{err: err}
-		}
-		org, data, entry = prog.Org, prog.Image, prog.Entry()
-		ram = 1 << 21
-		budget = f.cfg.DefaultBudget
-		stackTop = ram / 2
 	}
 	if spec.Budget > 0 {
 		budget = spec.Budget
@@ -669,26 +812,50 @@ func (f *Farm) attempt(j *job, n int, engCfg cms.Config, rung string) attemptOut
 		cfg.Injector = sched
 	}
 
-	// The watchdog: a timer flips an atomic flag at the deadline; the engine
-	// polls it cooperatively at commit boundaries (cms.Config.Cancel) and
-	// stops with ErrCancelled at the first boundary past expiry. The hook is
-	// armed only when a deadline was requested, so deadline-free jobs run
-	// the exact code path the solo harness does.
+	// The watchdog and checkpoint requests share one cooperative hook: a
+	// timer flips the deadline flag, Checkpoint/CheckpointDrain flip the
+	// job's checkpoint flag, and the engine polls both at commit boundaries
+	// (cms.Config.Cancel), stopping with ErrCancelled at the first boundary
+	// past either. The poll's false path is metrics-invisible, so the
+	// always-armed hook keeps farm runs bit-identical to solo runs.
 	var cancelled atomic.Bool
+	cfg.Cancel = func() bool { return cancelled.Load() || j.checkpoint.Load() }
 	if spec.DeadlineMs > 0 {
-		cfg.Cancel = cancelled.Load
 		timer := time.AfterFunc(time.Duration(spec.DeadlineMs)*time.Millisecond, func() { cancelled.Store(true) })
 		defer timer.Stop()
 	}
 
-	plat := dev.NewPlatform(ram, disk)
-	plat.Bus.WriteRaw(org, data)
-	if sched != nil {
-		plat.Bus.ForceProtHit = sched.ForceProtHit
-	}
-	e := cms.New(plat, entry, cfg)
-	if stackTop != 0 {
-		e.CPU().Regs[guest.ESP] = stackTop
+	var (
+		e    *cms.Engine
+		plat *dev.Platform
+	)
+	if j.restore != nil {
+		re, err := snapshot.Restore(j.restore, cfg)
+		if err != nil {
+			return attemptOut{err: fmt.Errorf("farm: restore: %w", err)}
+		}
+		e, plat = re, re.Plat
+		if sched != nil {
+			// The schedule was fast-forwarded from the snapshot; the bus hook
+			// must point at the rebuilt schedule, not the captured engine's.
+			plat.Bus.ForceProtHit = sched.ForceProtHit
+		}
+		if spec.Budget == 0 {
+			// Resume with the captured run's budget: Run counts cumulative
+			// retirement, so the combined run stops exactly where an
+			// uninterrupted one would.
+			budget = e.Budget()
+		}
+	} else {
+		plat = dev.NewPlatform(ram, disk)
+		plat.Bus.WriteRaw(org, data)
+		if sched != nil {
+			plat.Bus.ForceProtHit = sched.ForceProtHit
+		}
+		e = cms.New(plat, entry, cfg)
+		if stackTop != 0 {
+			e.CPU().Regs[guest.ESP] = stackTop
+		}
 	}
 
 	t0 := time.Now()
@@ -710,9 +877,13 @@ func (f *Farm) attempt(j *job, n int, engCfg cms.Config, rung string) attemptOut
 	}()
 	wall := time.Since(t0).Nanoseconds()
 
+	imageSHA := ""
+	if j.restore == nil {
+		imageSHA = incident.ImageHash(org, entry, ram, data, disk)
+	}
 	capture := func(kind, errMsg string) string {
 		return f.writeIncident(j, n, rung, kind, errMsg, stack, spec, budget,
-			incident.ImageHash(org, entry, ram, data, disk), cfg, e, plat)
+			imageSHA, cfg, e, plat)
 	}
 
 	switch {
@@ -726,6 +897,17 @@ func (f *Farm) attempt(j *job, n int, engCfg cms.Config, rung string) attemptOut
 		out := attemptOut{err: errors.New(errMsg), kind: incident.KindPanic, retryable: true}
 		out.incident = capture(incident.KindPanic, errMsg)
 		return out
+	case errors.Is(runErr, cms.ErrCancelled) && j.checkpoint.Load():
+		// Checkpoint wins over a concurrent deadline: a serialized VM that
+		// can resume elsewhere is strictly more useful than a timeout.
+		blob, err := snapshot.Save(e)
+		if err != nil {
+			errMsg := fmt.Sprintf("checkpoint failed: %v", err)
+			out := attemptOut{err: errors.New(errMsg), kind: incident.KindError}
+			out.incident = capture(incident.KindError, errMsg)
+			return out
+		}
+		return attemptOut{snap: blob}
 	case errors.Is(runErr, cms.ErrCancelled):
 		errMsg := fmt.Sprintf("deadline of %dms exceeded after %d guest insns", spec.DeadlineMs, e.Metrics.GuestTotal())
 		out := attemptOut{err: errors.New(errMsg), kind: incident.KindTimeout}
@@ -783,6 +965,7 @@ func (f *Farm) writeIncident(j *job, n int, rung, kind, errMsg, stack string,
 		Retired:     e.Metrics.GuestTotal(),
 		ArchSHA:     incident.StateHash(e, plat),
 		ImageSHA:    imageSHA,
+		Snapshot:    j.restoreBlob,
 		Engine:      incident.FromCMS(cfg),
 	}
 	path := filepath.Join(f.cfg.IncidentDir, fmt.Sprintf("%s-a%d.json", j.id, n))

@@ -55,6 +55,9 @@ func WriteMetrics(w io.Writer, f *Farm) {
 	counter("cms_farm_jobs_done_total", "Jobs completed successfully.", st.Done)
 	counter("cms_farm_jobs_failed_total", "Jobs that ended in an error.", st.Failed)
 	counter("cms_farm_jobs_timeout_total", "Jobs preempted by the per-job watchdog deadline.", st.Timeouts)
+	counter("cms_farm_jobs_checkpointed_total", "Jobs preempted into a snapshot by Checkpoint or CheckpointDrain.", st.Checkpoints)
+	counter("cms_farm_store_rehydrate_hits_total", "Snapshot-restore translations served from the shared store.", st.Store.RehydrateHits)
+	counter("cms_farm_store_rehydrate_misses_total", "Snapshot-restore translations deterministically retranslated.", st.Store.RehydrateMisses)
 	counter("cms_farm_jobs_submitted_total", "Jobs admitted since start.", st.Submitted)
 	counter("cms_farm_panics_total", "Engine attempts that panicked and were contained.", st.Panics)
 	counter("cms_farm_retries_total", "Rung-demoting retries started.", st.Retries)

@@ -103,9 +103,11 @@ func CheckProgram(p *Program, opts CheckOptions) *Divergence {
 	sharedB := run("sharedB", shared, nil)
 
 	all := []*State{interp, xlate, compiled, pipe1, pipe2, sharedA, sharedB}
+	var injXlate, snapInj *State
 	if opts.Inject {
+		injXlate = run("inj-xlate", func(c *cms.Config) { c.EnableCompiledBackend = false }, NewSchedule(p.Seed))
 		all = append(all,
-			run("inj-xlate", func(c *cms.Config) { c.EnableCompiledBackend = false }, NewSchedule(p.Seed)),
+			injXlate,
 			run("inj-compiled", nil, NewSchedule(p.Seed^0xA5A5)),
 			// Injected evictions against the warm sharded store: forced
 			// invalidations make the VM re-request regions the store still
@@ -113,6 +115,43 @@ func CheckProgram(p *Program, opts CheckOptions) *Divergence {
 			// architecturally invisible.
 			run("inj-shared", shared, NewSchedule(p.Seed^0x3C3C)),
 		)
+	}
+
+	// Checkpoint/restore legs (see snapleg.go): run to a seed-derived commit
+	// boundary, snapshot through the full encode/decode envelope, restore
+	// into a fresh engine, and finish there. The combined run joins both the
+	// architectural comparison and its configuration's metrics class —
+	// snapshotting must be invisible on every axis.
+	total := compiled.Metrics.GuestTotal()
+	snapLeg := func(name string, mod func(*cms.Config), salt uint64,
+		restoreMod func(*cms.Config), capSched, resSched *Schedule) *State {
+		cfg := base
+		if mod != nil {
+			mod(&cfg)
+		}
+		st := runSnapshotted(p, name, cfg, snapTarget(total, p.Seed^salt), restoreMod, capSched, resSched)
+		if opts.Mutate != nil {
+			opts.Mutate(st)
+		}
+		return st
+	}
+	snapCompiled := snapLeg("snap-compiled", nil, 0, nil, nil, nil)
+	// Warm store: both halves share the store the earlier shared legs
+	// populated, so rehydration is pure content lookup.
+	snapWarm := snapLeg("snap-shared-warm", shared, 1, nil, nil, nil)
+	// Cold store: the restore half gets an empty store, so every cached
+	// translation is deterministically re-translated at rehydration.
+	snapCold := snapLeg("snap-shared-cold", shared, 2,
+		func(c *cms.Config) { c.SharedStore = tcache.NewSharedShards(0, 4) }, nil, nil)
+	snapPipe := snapLeg("snap-pipe", func(c *cms.Config) { c.PipelineWorkers = 1 }, 3, nil, nil, nil)
+	all = append(all, snapCompiled, snapWarm, snapCold, snapPipe)
+	if opts.Inject {
+		// Fault injection across a checkpoint: the schedule state rides the
+		// snapshot, so the restored run's injections continue exactly where
+		// the captured run's stopped.
+		snapInj = snapLeg("snap-inj", func(c *cms.Config) { c.EnableCompiledBackend = false }, 4,
+			nil, NewSchedule(p.Seed), NewSchedule(p.Seed))
+		all = append(all, snapInj)
 	}
 
 	for _, st := range all {
@@ -126,13 +165,20 @@ func CheckProgram(p *Program, opts CheckOptions) *Divergence {
 			return &Divergence{Seed: p.Seed, Field: "arch", A: interp.Name, B: st.Name, Detail: d}
 		}
 	}
-	for _, st := range []*State{compiled, sharedA, sharedB} {
+	for _, st := range []*State{compiled, sharedA, sharedB, snapCompiled, snapWarm, snapCold} {
 		if d := DiffMetrics(xlate, st); d != "" {
 			return &Divergence{Seed: p.Seed, Field: "metrics", A: xlate.Name, B: st.Name, Detail: d}
 		}
 	}
-	if d := DiffMetrics(pipe1, pipe2); d != "" {
-		return &Divergence{Seed: p.Seed, Field: "metrics", A: pipe1.Name, B: pipe2.Name, Detail: d}
+	for _, st := range []*State{pipe2, snapPipe} {
+		if d := DiffMetrics(pipe1, st); d != "" {
+			return &Divergence{Seed: p.Seed, Field: "metrics", A: pipe1.Name, B: st.Name, Detail: d}
+		}
+	}
+	if opts.Inject {
+		if d := DiffMetrics(injXlate, snapInj); d != "" {
+			return &Divergence{Seed: p.Seed, Field: "metrics", A: injXlate.Name, B: snapInj.Name, Detail: d}
+		}
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package fuzzer
 
 import (
+	"encoding/json"
+
 	"cms/internal/cms"
 	"cms/internal/mem"
 )
@@ -76,6 +78,49 @@ func (s *Schedule) TexecBoundary(entry uint32, retired uint64) cms.InjectAction 
 	a := s.actions[s.ai%len(s.actions)]
 	s.ai++
 	return a
+}
+
+// scheduleState is the serialized mutable state of a Schedule. The derived
+// constants (periods, action rotation) are reproduced by constructing the
+// schedule from the same seed; only the progress counters ride a snapshot.
+type scheduleState struct {
+	Count      uint64 `json:"count"`
+	AI         int    `json:"ai"`
+	ProtCount  uint64 `json:"prot_count"`
+	ProtFired  bool   `json:"prot_fired"`
+	PanicCount uint64 `json:"panic_count"`
+}
+
+// SnapshotState implements cms.StatefulInjector: it serializes the
+// schedule's progress so a restored run's injections continue exactly where
+// the captured run's stopped.
+func (s *Schedule) SnapshotState() []byte {
+	b, err := json.Marshal(scheduleState{
+		Count:      s.count,
+		AI:         s.ai,
+		ProtCount:  s.protCount,
+		ProtFired:  s.protFired,
+		PanicCount: s.panicCount,
+	})
+	if err != nil {
+		panic(err) // plain integers cannot fail to marshal
+	}
+	return b
+}
+
+// RestoreState implements cms.StatefulInjector. The receiver must have been
+// built from the same seed as the captured schedule.
+func (s *Schedule) RestoreState(b []byte) error {
+	var st scheduleState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	s.count = st.Count
+	s.ai = st.AI
+	s.protCount = st.ProtCount
+	s.protFired = st.ProtFired
+	s.panicCount = st.PanicCount
+	return nil
 }
 
 // ForceProtHit is installed as mem.Bus.ForceProtHit. It fires on every

@@ -1,0 +1,89 @@
+package fuzzer
+
+import (
+	"strings"
+	"testing"
+)
+
+// hasSMC reports whether the program carries a self-modifying fragment.
+func hasSMC(p *Program) bool {
+	for _, f := range p.frags {
+		if strings.HasPrefix(f.kind, "smc") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSnapshotBoundarySweep checkpoints generated programs at a dense grid
+// of commit boundaries and requires every restored continuation to match
+// the uninterrupted run bit-for-bit — architectural state and Metrics.
+//
+// The seeds are chosen so at least one program carries self-modifying code:
+// a grid this dense necessarily lands checkpoints immediately before SMC
+// writes, which is the regression this test exists for — a restore that
+// mishandled page generations, fine-grain masks, the decoded-instruction
+// cache, or the indirect-target caches would execute a stale translation
+// (or miss a protection hit) right after the seam and diverge. Runs under
+// -race in CI like every other test here.
+func TestSnapshotBoundarySweep(t *testing.T) {
+	base := OracleConfig()
+	seeds := []uint64{3, 7, 17, 91, 123}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	smcSeen := false
+	for _, seed := range seeds {
+		p := MustBuild(seed, GenConfig{})
+		smcSeen = smcSeen || hasSMC(p)
+		baseline := RunProgram(p, "base", base, nil)
+		if strings.Contains(baseline.Err, "budget exhausted") {
+			t.Fatalf("seed %d: baseline exhausted budget", seed)
+		}
+		total := baseline.Metrics.GuestTotal()
+		step := total/48 + 1
+		for target := step; target < total; target += step {
+			st := runSnapshotted(p, "snap", base, target, nil, nil, nil)
+			if d := DiffArch(baseline, st); d != "" {
+				t.Fatalf("seed %d target %d: arch: %s", seed, target, d)
+			}
+			if d := DiffMetrics(baseline, st); d != "" {
+				t.Fatalf("seed %d target %d: metrics: %s", seed, target, d)
+			}
+		}
+	}
+	if !smcSeen {
+		t.Fatal("no sweep seed generated an SMC fragment; pick different seeds")
+	}
+}
+
+// TestSnapshotUnderInjectionSweep repeats a (coarser) boundary sweep with a
+// fault-injection schedule armed across the checkpoint: forced rollbacks,
+// alias faults, evictions, and protection hits continue on the restored
+// engine exactly where the captured run left off.
+func TestSnapshotUnderInjectionSweep(t *testing.T) {
+	base := OracleConfig()
+	base.EnableCompiledBackend = false
+	seeds := []uint64{5, 29, 64}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		p := MustBuild(seed, GenConfig{})
+		baseline := RunProgram(p, "base", base, NewSchedule(seed))
+		if strings.Contains(baseline.Err, "budget exhausted") {
+			t.Fatalf("seed %d: baseline exhausted budget", seed)
+		}
+		total := baseline.Metrics.GuestTotal()
+		step := total/12 + 1
+		for target := step; target < total; target += step {
+			st := runSnapshotted(p, "snap-inj", base, target, nil, NewSchedule(seed), NewSchedule(seed))
+			if d := DiffArch(baseline, st); d != "" {
+				t.Fatalf("seed %d target %d: arch: %s", seed, target, d)
+			}
+			if d := DiffMetrics(baseline, st); d != "" {
+				t.Fatalf("seed %d target %d: metrics: %s", seed, target, d)
+			}
+		}
+	}
+}

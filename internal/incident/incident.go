@@ -18,6 +18,11 @@
 // engine's cancel polls fire only at boundaries the budget check also
 // visits, so both runs stop at the same committed boundary with identical
 // architectural state.
+//
+// Bundles from attempts that resumed a checkpoint additionally embed the
+// snapshot envelope (internal/snapshot): replay then restores the machine
+// from the checkpoint and runs only the failing tail, so an incident hours
+// into a long-running VM reproduces in the time since its last checkpoint.
 package incident
 
 import (
@@ -35,6 +40,7 @@ import (
 	"cms/internal/dev"
 	"cms/internal/fuzzer"
 	"cms/internal/guest"
+	"cms/internal/snapshot"
 	"cms/internal/workload"
 )
 
@@ -160,8 +166,18 @@ type Bundle struct {
 	// ArchSHA hashes the architectural state at the failure point (StateHash);
 	// ImageSHA hashes the built guest image, so a drifted workload builder or
 	// assembler fails the replay loudly instead of silently diverging.
+	// ImageSHA is empty when the attempt resumed a Snapshot (no image was
+	// built — the envelope carries, and self-checks, the whole machine).
 	ArchSHA  string `json:"arch_sha"`
-	ImageSHA string `json:"image_sha"`
+	ImageSHA string `json:"image_sha,omitempty"`
+
+	// Snapshot, when present, is the checkpoint envelope the failing attempt
+	// resumed from (base64 in the JSON). Replay then restores the machine
+	// from it instead of rebuilding the image and replaying from boot, so a
+	// failure deep into a long run reproduces from the last checkpoint —
+	// the deterministic record-replay path. Budget and Retired stay valid
+	// either way: both count cumulative retirement from the original boot.
+	Snapshot []byte `json:"snapshot,omitempty"`
 
 	Engine EngineConfig `json:"engine"`
 }
@@ -278,32 +294,54 @@ func (b *Bundle) build() (org, entry, ram, stackTop uint32, data, disk []byte, e
 // (panics and errors), and same architectural state hash. It returns nil
 // when the incident reproduced and a descriptive error otherwise.
 func Replay(b *Bundle) error {
-	org, entry, ram, stackTop, data, disk, err := b.build()
-	if err != nil {
-		return fmt.Errorf("incident: rebuild image: %w", err)
-	}
-	if b.ImageSHA != "" {
-		if got := ImageHash(org, entry, ram, data, disk); got != b.ImageSHA {
-			return fmt.Errorf("incident: rebuilt image hash %s != recorded %s (builder drifted?)", short(got), short(b.ImageSHA))
-		}
-	}
-
 	cfg := b.Engine.ToCMS()
-	plat := dev.NewPlatform(ram, disk)
-	plat.Bus.WriteRaw(org, data)
+	var sched *fuzzer.Schedule
 	if b.InjectSeed != 0 {
-		var sched *fuzzer.Schedule
 		if b.ChaosPanics {
 			sched = fuzzer.NewChaosSchedule(b.InjectSeed)
 		} else {
 			sched = fuzzer.NewSchedule(b.InjectSeed)
 		}
 		cfg.Injector = sched
-		plat.Bus.ForceProtHit = sched.ForceProtHit
 	}
-	e := cms.New(plat, entry, cfg)
-	if stackTop != 0 {
-		e.CPU().Regs[guest.ESP] = stackTop
+
+	var (
+		e    *cms.Engine
+		plat *dev.Platform
+	)
+	if len(b.Snapshot) > 0 {
+		// Record-replay: resume from the last checkpoint instead of booting.
+		// The envelope is self-checking, and cumulative budgets mean the
+		// failure boundary lands at the same absolute retirement count.
+		re, err := snapshot.Load(b.Snapshot, cfg)
+		if err != nil {
+			return fmt.Errorf("incident: restoring checkpoint: %w", err)
+		}
+		e, plat = re, re.Plat
+		if sched != nil {
+			// snapshot.Load fast-forwarded the schedule; the bus hook must
+			// point at it too.
+			plat.Bus.ForceProtHit = sched.ForceProtHit
+		}
+	} else {
+		org, entry, ram, stackTop, data, disk, err := b.build()
+		if err != nil {
+			return fmt.Errorf("incident: rebuild image: %w", err)
+		}
+		if b.ImageSHA != "" {
+			if got := ImageHash(org, entry, ram, data, disk); got != b.ImageSHA {
+				return fmt.Errorf("incident: rebuilt image hash %s != recorded %s (builder drifted?)", short(got), short(b.ImageSHA))
+			}
+		}
+		plat = dev.NewPlatform(ram, disk)
+		plat.Bus.WriteRaw(org, data)
+		if sched != nil {
+			plat.Bus.ForceProtHit = sched.ForceProtHit
+		}
+		e = cms.New(plat, entry, cfg)
+		if stackTop != 0 {
+			e.CPU().Regs[guest.ESP] = stackTop
+		}
 	}
 
 	budget := b.Budget

@@ -1,0 +1,81 @@
+package interp
+
+// ProfileState is a serializable copy of a Profile. Branch stats are stored
+// by value; restore re-boxes them.
+type ProfileState struct {
+	Heads     map[uint32]uint64     `json:"heads"`
+	Branches  map[uint32]BranchStat `json:"branches"`
+	MMIOInsns map[uint32]bool       `json:"mmio_insns"`
+}
+
+// InterpState is the serializable interpreter state: the architectural CPU,
+// retirement counters, and the profile. The decoded-instruction cache is
+// deliberately absent — it is a host-side accelerator keyed by page
+// generations, so a restored interpreter starts cold and refills correctly
+// because the bus generations are restored verbatim.
+type InterpState struct {
+	CPU       CPU           `json:"cpu"`
+	Retired   uint64        `json:"retired"`
+	Delivered uint64        `json:"delivered"`
+	Profile   *ProfileState `json:"profile"`
+}
+
+// ExportState captures the interpreter.
+func (ip *Interp) ExportState() *InterpState {
+	s := &InterpState{
+		CPU:       ip.CPU,
+		Retired:   ip.Retired,
+		Delivered: ip.Delivered,
+	}
+	if ip.Prof != nil {
+		ps := &ProfileState{
+			Heads:     make(map[uint32]uint64, len(ip.Prof.Heads)),
+			Branches:  make(map[uint32]BranchStat, len(ip.Prof.Branches)),
+			MMIOInsns: make(map[uint32]bool, len(ip.Prof.MMIOInsns)),
+		}
+		for a, n := range ip.Prof.Heads {
+			ps.Heads[a] = n
+		}
+		for a, b := range ip.Prof.Branches {
+			ps.Branches[a] = *b
+		}
+		for a := range ip.Prof.MMIOInsns {
+			ps.MMIOInsns[a] = true
+		}
+		s.Profile = ps
+	}
+	return s
+}
+
+// RestoreState overwrites the interpreter with a captured state. The
+// decoded-instruction cache is reset. The Profile struct is mutated in
+// place when one is already wired (the translator holds the same pointer),
+// so every holder observes the restored maps.
+func (ip *Interp) RestoreState(s *InterpState) {
+	ip.CPU = s.CPU
+	ip.Retired = s.Retired
+	ip.Delivered = s.Delivered
+	ip.ic = icache{}
+	if s.Profile != nil {
+		p := ip.Prof
+		if p == nil {
+			p = NewProfile()
+			ip.Prof = p
+		}
+		p.Heads = make(map[uint32]uint64, len(s.Profile.Heads))
+		p.Branches = make(map[uint32]*BranchStat, len(s.Profile.Branches))
+		p.MMIOInsns = make(map[uint32]bool, len(s.Profile.MMIOInsns))
+		for a, n := range s.Profile.Heads {
+			p.Heads[a] = n
+		}
+		for a, b := range s.Profile.Branches {
+			bb := b
+			p.Branches[a] = &bb
+		}
+		for a, v := range s.Profile.MMIOInsns {
+			if v {
+				p.MMIOInsns[a] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"cms/internal/cms"
+	"cms/internal/workload"
+)
+
+// FuzzSnapshotRoundtrip drives Decode with arbitrary bytes. Three
+// properties are pinned:
+//
+//  1. Decode never panics, whatever the input.
+//  2. Anything Decode accepts re-encodes canonically: encode → decode →
+//     encode is byte-identical.
+//  3. Corruption detection: flipping any payload byte of an accepted
+//     envelope makes Decode reject it (the SHA-256 trailer).
+func FuzzSnapshotRoundtrip(f *testing.F) {
+	img := workload.All()[0].Build()
+	e := newEngine(img, cms.DefaultConfig())
+	if err := e.Run(img.Budget); err != nil {
+		f.Fatal(err)
+	}
+	blob, err := Save(e)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0x10
+	f.Add(bad)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add([]byte(Magic + "\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		b2, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to encode: %v", err)
+		}
+		s2, err := Decode(b2)
+		if err != nil {
+			t.Fatalf("re-encoded envelope rejected: %v", err)
+		}
+		b3, err := s2.Encode()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(b2, b3) {
+			t.Fatalf("encoding not canonical: %d vs %d bytes", len(b2), len(b3))
+		}
+		if len(b2) > headerLen+1 {
+			corrupt := append([]byte(nil), b2...)
+			corrupt[headerLen] ^= 0xff
+			if _, err := Decode(corrupt); err == nil {
+				t.Fatal("payload corruption undetected")
+			}
+		}
+	})
+}

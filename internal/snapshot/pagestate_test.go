@@ -1,0 +1,69 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+
+	"cms/internal/cms"
+	"cms/internal/mem"
+	"cms/internal/workload"
+)
+
+// TestRestorePreservesPageState checkpoints a boot workload (MMIO, DMA, and
+// both SMC idioms live there) mid-run and asserts the restored bus carries
+// the exact per-page protection, fine-grain, and generation state of the
+// captured one. Generations matter doubly: the decoded-instruction cache
+// and the compiled-code caches validate against them, so a restored engine
+// whose generations drifted would either execute stale host code or
+// rediscover (and re-charge) work the captured run already did.
+func TestRestorePreservesPageState(t *testing.T) {
+	w, err := workload.ByName("dos_boot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := w.Build()
+	cfg := cms.DefaultConfig()
+	runCfg := cfg
+	runCfg.CancelQuantum = 128
+	var eng *cms.Engine
+	runCfg.Cancel = func() bool { return eng.Metrics.GuestTotal() >= 40000 }
+	eng = newEngine(img, runCfg)
+	if err := eng.Run(img.Budget); !errors.Is(err, cms.ErrCancelled) {
+		t.Fatalf("expected cancellation, got %v", err)
+	}
+	blob, err := Save(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(blob, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := eng.Plat.Bus, restored.Plat.Bus
+	if a.RAMSize() != b.RAMSize() {
+		t.Fatalf("RAM size: %d vs %d", a.RAMSize(), b.RAMSize())
+	}
+	pages := a.RAMSize() >> mem.PageShift
+	protected, fine := 0, 0
+	for p := uint32(0); p < pages; p++ {
+		if ap, bp := a.IsProtected(p), b.IsProtected(p); ap != bp {
+			t.Fatalf("page %#x: protected %v vs %v", p, ap, bp)
+		} else if ap {
+			protected++
+		}
+		af, amask := a.IsFineGrain(p)
+		bf, bmask := b.IsFineGrain(p)
+		if af != bf || amask != bmask {
+			t.Fatalf("page %#x: fine-grain (%v,%#x) vs (%v,%#x)", p, af, amask, bf, bmask)
+		}
+		if af {
+			fine++
+		}
+		if ag, bg := a.Gen(p), b.Gen(p); ag != bg {
+			t.Fatalf("page %#x: generation %d vs %d", p, ag, bg)
+		}
+	}
+	if protected == 0 {
+		t.Fatal("checkpoint caught no protected pages; target too early to exercise restore")
+	}
+}

@@ -1,10 +1,12 @@
 package tcache
 
 import (
+	"bytes"
 	"container/list"
 	"encoding/binary"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +77,12 @@ type storeShard struct {
 	poisons    atomic.Uint64
 	poisonHits atomic.Uint64
 
+	// Rehydration traffic: Translate calls made on behalf of a snapshot
+	// restore, counted separately so operators can see how much of a
+	// restored VM's translation set was served warm.
+	rehydrateHits   atomic.Uint64
+	rehydrateMisses atomic.Uint64
+
 	mu       sync.Mutex
 	entries  map[xlate.Key]*sharedEntry
 	lru      *list.List // front = most recently used; values are *sharedEntry
@@ -131,6 +139,13 @@ type SharedStats struct {
 	Poisons    uint64
 	PoisonHits uint64
 	Poisoned   int
+
+	// RehydrateHits/RehydrateMisses count snapshot-restore traffic routed
+	// through Rehydrate: hits were served from the store (instant reuse),
+	// misses re-ran the deterministic backend. Both are also counted in
+	// Hits/Waits/Misses above.
+	RehydrateHits   uint64
+	RehydrateMisses uint64
 }
 
 // DedupRatio returns the fraction of requests served without running the
@@ -263,6 +278,42 @@ func (sh *storeShard) runBackend(key xlate.Key, req *xlate.Request) (t *xlate.Tr
 	return req.Translate()
 }
 
+// Rehydrate is Translate for snapshot restore: identical semantics, but the
+// request is additionally counted in the rehydration counters so the warm
+// fraction of a restore is observable. Determinism is unaffected either way
+// — a hit hands back the byte-identical artifact a miss would rebuild.
+func (s *SharedStore) Rehydrate(req *xlate.Request) (t *xlate.Translation, hit bool, err error) {
+	key := req.Key()
+	t, hit, err = s.Translate(req)
+	sh := s.shard(key)
+	if hit {
+		sh.rehydrateHits.Add(1)
+	} else {
+		sh.rehydrateMisses.Add(1)
+	}
+	return t, hit, err
+}
+
+// Keys returns a sorted snapshot of every resident content key. A migration
+// source sends this list ahead of the VM snapshot so the target can prewarm
+// its store (translate-or-fetch each key's region before the VM arrives);
+// sorted order makes the transfer deterministic.
+func (s *SharedStore) Keys() []xlate.Key {
+	var keys []xlate.Key
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.entries {
+			keys = append(keys, k)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return bytes.Compare(keys[i][:], keys[j][:]) < 0
+	})
+	return keys
+}
+
 // Poison quarantines key for ttl (<= 0 means DefaultPoisonTTL): the cached
 // artifact, if any, is dropped immediately and lookups bypass the store
 // until the TTL expires. Poisoning is a wall-clock-only action — a VM that
@@ -344,6 +395,8 @@ func (s *SharedStore) Stats() SharedStats {
 		st.Evictions += sh.evictions.Load()
 		st.Poisons += sh.poisons.Load()
 		st.PoisonHits += sh.poisonHits.Load()
+		st.RehydrateHits += sh.rehydrateHits.Load()
+		st.RehydrateMisses += sh.rehydrateMisses.Load()
 		sh.mu.Lock()
 		st.Entries += len(sh.entries)
 		st.Atoms += sh.curAtoms

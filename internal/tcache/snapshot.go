@@ -1,0 +1,182 @@
+package tcache
+
+import (
+	"fmt"
+	"sort"
+
+	"cms/internal/xlate"
+)
+
+// ITCState is one valid indirect-target-cache slot.
+type ITCState struct {
+	Slot   int    `json:"slot"`
+	Target uint32 `json:"target"`
+	To     uint32 `json:"to"` // entry address of the cached successor
+}
+
+// EntryState is the serializable state of one installed translation. The
+// translation itself is represented by its frozen request (never the
+// artifact): restore re-runs or re-fetches it by content, bit-identically.
+type EntryState struct {
+	Req             *xlate.RequestImage `json:"req"`
+	Execs           uint64              `json:"execs"`
+	FaultCounts     [8]uint32           `json:"fault_counts"`
+	SpecGuestFaults uint32              `json:"spec_guest_faults"`
+	Armed           bool                `json:"armed"`
+	SelfReval       bool                `json:"self_reval"`
+	// Chains holds, per exit, the entry address this exit is chained to, or
+	// -1 when the exit returns to the dispatcher.
+	Chains []int64    `json:"chains"`
+	ITC    []ITCState `json:"itc,omitempty"`
+}
+
+// GroupState is the retired-translation group of one entry address, in
+// group order (GroupMatch scans in order, so order is semantics).
+type GroupState struct {
+	Entry   uint32                `json:"entry"`
+	Members []*xlate.RequestImage `json:"members"`
+}
+
+// CacheState is the serializable state of a translation cache.
+type CacheState struct {
+	// Entries lists valid translations in install order — byPage list order
+	// (hence invalidation order) is install order, so restore must replay
+	// installs in the same sequence.
+	Entries []EntryState `json:"entries"`
+	Groups  []GroupState `json:"groups,omitempty"`
+	Stats   Stats        `json:"stats"`
+}
+
+// ExportState captures the cache. Every installed translation and every
+// retired group member must carry its frozen request (translations made by
+// this repository's translator always do).
+func (c *Cache) ExportState() (*CacheState, error) {
+	s := &CacheState{Stats: c.Stats}
+	entries := make([]*Entry, 0, len(c.byEntry))
+	for _, e := range c.byEntry {
+		if e.Valid {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	for _, e := range entries {
+		if e.T.Req == nil {
+			return nil, fmt.Errorf("tcache: translation at %#x has no frozen request", e.T.Entry)
+		}
+		es := EntryState{
+			Req:             e.T.Req.Image(),
+			Execs:           e.Execs,
+			FaultCounts:     e.FaultCounts,
+			SpecGuestFaults: e.SpecGuestFaults,
+			Armed:           e.Armed,
+			SelfReval:       e.SelfReval,
+			Chains:          make([]int64, len(e.chains)),
+		}
+		for i, to := range e.chains {
+			if to != nil && to.Valid {
+				es.Chains[i] = int64(to.T.Entry)
+			} else {
+				es.Chains[i] = -1
+			}
+		}
+		for i, slot := range e.itc {
+			if slot.to != nil && slot.to.Valid {
+				es.ITC = append(es.ITC, ITCState{Slot: i, Target: slot.target, To: slot.to.T.Entry})
+			}
+		}
+		s.Entries = append(s.Entries, es)
+	}
+	groupAddrs := make([]uint32, 0, len(c.groups))
+	for a, g := range c.groups {
+		if len(g) > 0 {
+			groupAddrs = append(groupAddrs, a)
+		}
+	}
+	sort.Slice(groupAddrs, func(i, j int) bool { return groupAddrs[i] < groupAddrs[j] })
+	for _, a := range groupAddrs {
+		gs := GroupState{Entry: a}
+		for _, t := range c.groups[a] {
+			if t.Req == nil {
+				return nil, fmt.Errorf("tcache: retired translation at %#x has no frozen request", t.Entry)
+			}
+			gs.Members = append(gs.Members, t.Req.Image())
+		}
+		s.Groups = append(s.Groups, gs)
+	}
+	return s, nil
+}
+
+// RestoreState rebuilds the cache from a captured state. The cache must be
+// empty. translate materializes each frozen request — straight through
+// xlate.Request.Translate, or via a shared store for instant reuse; either
+// way the artifact is bit-identical, so the rebuilt cache behaves exactly
+// like the captured one. Stats are overwritten with the captured counters
+// afterwards (the replayed installs must not double-count).
+func (c *Cache) RestoreState(s *CacheState, translate func(*xlate.Request) (*xlate.Translation, error)) error {
+	if n, _ := c.Size(); n != 0 {
+		return fmt.Errorf("tcache: restore into non-empty cache (%d entries)", n)
+	}
+	materialize := func(im *xlate.RequestImage) (*xlate.Translation, error) {
+		req, err := im.Reify()
+		if err != nil {
+			return nil, err
+		}
+		return translate(req)
+	}
+	byAddr := make(map[uint32]*Entry, len(s.Entries))
+	for i := range s.Entries {
+		es := &s.Entries[i]
+		t, err := materialize(es.Req)
+		if err != nil {
+			return fmt.Errorf("tcache: rebuilding translation at %#x: %w", es.Req.Entry, err)
+		}
+		if len(es.Chains) != len(t.Exits) {
+			return fmt.Errorf("tcache: translation at %#x rebuilt with %d exits, snapshot has %d",
+				t.Entry, len(t.Exits), len(es.Chains))
+		}
+		e := c.Install(t)
+		e.Execs = es.Execs
+		e.FaultCounts = es.FaultCounts
+		e.SpecGuestFaults = es.SpecGuestFaults
+		e.Armed = es.Armed
+		e.SelfReval = es.SelfReval
+		byAddr[t.Entry] = e
+	}
+	for i := range s.Entries {
+		es := &s.Entries[i]
+		from := byAddr[es.Req.Entry]
+		for exit, toAddr := range es.Chains {
+			if toAddr < 0 {
+				continue
+			}
+			to := byAddr[uint32(toAddr)]
+			if to == nil {
+				return fmt.Errorf("tcache: chain from %#x exit %d to unknown entry %#x",
+					es.Req.Entry, exit, uint32(toAddr))
+			}
+			c.Chain(from, exit, to)
+		}
+		for _, slot := range es.ITC {
+			to := byAddr[slot.To]
+			if to == nil {
+				return fmt.Errorf("tcache: itc slot in %#x points at unknown entry %#x",
+					es.Req.Entry, slot.To)
+			}
+			if slot.Slot < 0 || slot.Slot >= itcSlots {
+				return fmt.Errorf("tcache: itc slot index %d out of range", slot.Slot)
+			}
+			from.itc[slot.Slot] = itcSlot{target: slot.Target, to: to}
+		}
+	}
+	for _, gs := range s.Groups {
+		for _, im := range gs.Members {
+			t, err := materialize(im)
+			if err != nil {
+				return fmt.Errorf("tcache: rebuilding retired translation at %#x: %w", im.Entry, err)
+			}
+			c.groups[gs.Entry] = append(c.groups[gs.Entry], t)
+		}
+	}
+	c.Stats = s.Stats
+	return nil
+}

@@ -49,6 +49,11 @@ type Entry struct {
 	// hot indirect jumps (returns, dispatch tables) skip the dispatcher's
 	// map lookup. Slots may hold invalidated entries; hits re-check Valid.
 	itc [itcSlots]itcSlot
+
+	// seq is the install order, used to reproduce the cache's internal
+	// list orders exactly on snapshot restore (byPage order decides
+	// invalidation order, which is observable in Stats).
+	seq uint64
 }
 
 // itcSlots is the per-translation indirect target cache size. Indirect
@@ -122,6 +127,9 @@ type Cache struct {
 	CapAtoms int
 	curAtoms int
 
+	// nextSeq numbers installs, for snapshot-exact restore ordering.
+	nextSeq uint64
+
 	Stats Stats
 }
 
@@ -170,7 +178,8 @@ func (c *Cache) Install(t *xlate.Translation) *Entry {
 	if old := c.byEntry[t.Entry]; old != nil && old.Valid {
 		c.invalidate(old, false)
 	}
-	e := &Entry{T: t, Valid: true, chains: make([]*Entry, len(t.Exits))}
+	e := &Entry{T: t, Valid: true, chains: make([]*Entry, len(t.Exits)), seq: c.nextSeq}
+	c.nextSeq++
 	c.byEntry[t.Entry] = e
 	for _, p := range t.Pages() {
 		c.byPage[p] = append(c.byPage[p], e)

@@ -44,6 +44,13 @@ type Translation struct {
 	// stylized immediate fields are 0x00.
 	Mask [][]byte
 
+	// Req is the frozen request this translation was built from. Because
+	// the backend is a pure function of the request, Req is everything a
+	// snapshot needs to rebuild the translation bit-identically (or fetch
+	// it from a shared store: Req.Key() is the content address). Clones
+	// share it; it is immutable after Prepare.
+	Req *Request
+
 	prologue     *vliw.Code
 	prologuePass int
 	prologueFail int
@@ -342,6 +349,7 @@ func (req *Request) Translate() (*Translation, error) {
 			if req.compile {
 				t.Compiled = vliw.Compile(t.Code)
 			}
+			t.Req = req
 			return t, nil
 		}
 		if errors.Is(err, errRegPressure) && cap > 4 {

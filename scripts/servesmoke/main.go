@@ -4,10 +4,16 @@
 // submits a job armed with a deterministic injected panic, requires the
 // failure to be contained (job failed, daemon still ready, incident bundle
 // captured), and prints the bundle path as "servesmoke: incident PATH" so
-// check.sh can hand it to cmsfuzz -replay. Exit 0 on success, 1 with a
-// message otherwise. Stdlib only, like everything else in the repo.
+// check.sh can hand it to cmsfuzz -replay. With -migrate-target URL it
+// additionally drives a live migration: a long job submitted to -addr is
+// checkpointed mid-run via POST /v1/migrate, restored on the target
+// instance, and its final state — registers, flags, console, the full
+// Metrics struct, cache statistics — must be bit-identical to the same job
+// run uninterrupted (only wall-clock fields may differ). Exit 0 on success,
+// 1 with a message otherwise. Stdlib only, like everything else in the repo.
 //
-// Usage: servesmoke -addr http://127.0.0.1:8086 [-workload eqntott] [-chaos]
+// Usage: servesmoke -addr http://127.0.0.1:8086 [-workload eqntott]
+// [-chaos] [-migrate-target http://127.0.0.1:8087]
 package main
 
 import (
@@ -26,6 +32,7 @@ func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8086", "cmsserve base URL")
 	wl := flag.String("workload", "eqntott", "workload to submit")
 	chaos := flag.Bool("chaos", false, "also submit a chaos-panic job and print its incident bundle path")
+	migrateTarget := flag.String("migrate-target", "", "second cmsserve base URL: checkpoint a job here, restore it there, require bit-identical state")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline")
 	flag.Parse()
 
@@ -40,6 +47,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("servesmoke: incident", path)
+	}
+	if *migrateTarget != "" {
+		if err := migrateSmoke(*addr, *migrateTarget, time.Now().Add(*timeout)); err != nil {
+			fmt.Fprintln(os.Stderr, "servesmoke: migrate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("servesmoke: migration ok")
 	}
 	fmt.Println("servesmoke: ok")
 }
@@ -114,6 +128,193 @@ func chaosSmoke(addr string, deadline time.Time) (string, error) {
 		return "", fmt.Errorf("daemon not ready after a contained panic: /readyz = %d", r.StatusCode)
 	}
 	return view.Incidents[0], nil
+}
+
+// migrateSource retires ~9M instructions: long enough that the migrate
+// request always lands while the job is still mid-run, short enough to keep
+// the smoke fast.
+const migrateSource = `
+.org 0x1000
+_start:
+	mov edx, 150
+outer:
+	mov ecx, 20000
+inner:
+	add eax, 3
+	dec ecx
+	jne inner
+	dec edx
+	jne outer
+	hlt
+`
+
+// wallClockKeys are the only Result fields allowed to differ between an
+// uninterrupted run and a checkpoint/restore pair: wall-clock cost,
+// shared-store attribution, and retry bookkeeping. Everything else —
+// registers, flags, console, Metrics, cache statistics — must be
+// bit-identical.
+var wallClockKeys = []string{"wall_ns", "shared_hits", "shared_misses", "attempts", "rung", "retry_reason"}
+
+func submitSource(addr, source string) (map[string]interface{}, error) {
+	body, _ := json.Marshal(map[string]interface{}{"source": source})
+	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("submit: %d: %s", resp.StatusCode, raw)
+	}
+	var v map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func pollDone(addr, id string, deadline time.Time) (map[string]interface{}, error) {
+	for {
+		r, err := http.Get(addr + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var v map[string]interface{}
+		err = json.NewDecoder(r.Body).Decode(&v)
+		r.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch v["status"] {
+		case "done":
+			return v, nil
+		case "queued", "running":
+		default:
+			return nil, fmt.Errorf("job %s: status %v (%v)", id, v["status"], v["error"])
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s stuck in %v", id, v["status"])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// normalizedResult strips the wall-clock fields from a job view's result and
+// re-marshals it canonically (json.Marshal sorts object keys), so two results
+// compare bit-identical exactly when every deterministic observable matches.
+func normalizedResult(v map[string]interface{}) (string, error) {
+	res, ok := v["result"].(map[string]interface{})
+	if !ok {
+		return "", fmt.Errorf("job view carries no result")
+	}
+	for _, k := range wallClockKeys {
+		delete(res, k)
+	}
+	raw, err := json.Marshal(res)
+	return string(raw), err
+}
+
+// migrateSmoke drives a live migration end to end: run the reference job to
+// completion on A, submit the same job again, checkpoint it mid-run via
+// POST /v1/migrate, let the target instance finish it, and require the
+// migrated final state to be bit-identical to the uninterrupted reference.
+func migrateSmoke(addrA, addrB string, deadline time.Time) error {
+	// The target server may still be binding its listener.
+	for {
+		r, err := http.Get(addrB + "/healthz")
+		if err == nil {
+			r.Body.Close()
+			if r.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("target never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	ref, err := submitSource(addrA, migrateSource)
+	if err != nil {
+		return fmt.Errorf("reference: %v", err)
+	}
+	ref, err = pollDone(addrA, ref["id"].(string), deadline)
+	if err != nil {
+		return fmt.Errorf("reference: %v", err)
+	}
+	want, err := normalizedResult(ref)
+	if err != nil {
+		return fmt.Errorf("reference: %v", err)
+	}
+
+	v, err := submitSource(addrA, migrateSource)
+	if err != nil {
+		return err
+	}
+	body, _ := json.Marshal(map[string]string{"job": v["id"].(string), "target": addrB})
+	resp, err := http.Post(addrA+"/v1/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("migrate: %d: %s", resp.StatusCode, raw)
+	}
+	var mig struct {
+		Source map[string]interface{} `json:"source"`
+		Target map[string]interface{} `json:"target"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mig); err != nil {
+		return err
+	}
+	if mig.Source["status"] != "checkpointed" {
+		return fmt.Errorf("source job status %v, want checkpointed", mig.Source["status"])
+	}
+	if n, ok := mig.Source["snapshot_bytes"].(float64); !ok || n <= 0 {
+		return fmt.Errorf("source view reports no snapshot bytes: %v", mig.Source["snapshot_bytes"])
+	}
+
+	tv, err := pollDone(addrB, mig.Target["id"].(string), deadline)
+	if err != nil {
+		return fmt.Errorf("migrated job: %v", err)
+	}
+	if tv["restored"] != true {
+		return fmt.Errorf("migrated job not flagged restored")
+	}
+	got, err := normalizedResult(tv)
+	if err != nil {
+		return fmt.Errorf("migrated job: %v", err)
+	}
+	if got != want {
+		return fmt.Errorf("migrated final state diverged from the uninterrupted run:\nref %s\nmig %s", want, got)
+	}
+
+	// The migrated job must have rebuilt its translations through the
+	// target's shared store — the rehydrate counters prove the restore path
+	// actually ran rather than the job re-executing from scratch.
+	m, err := http.Get(addrB + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer m.Body.Close()
+	raw, err := io.ReadAll(m.Body)
+	if err != nil {
+		return err
+	}
+	rehydrated := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "cms_farm_store_rehydrate_") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) == 2 && fields[1] != "0" {
+			rehydrated = true
+		}
+	}
+	if !rehydrated {
+		return fmt.Errorf("target /metrics shows no rehydrated translations")
+	}
+	return nil
 }
 
 func smoke(addr, wl string, timeout time.Duration) error {
