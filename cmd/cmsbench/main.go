@@ -11,6 +11,8 @@
 //	cmsbench -exp snapshot   # checkpoint/restore costs on the hot kernels:
 //	                         # envelope bytes, save latency, warm vs cold
 //	                         # restore latency, rehydration hit rate
+//	cmsbench -exp backend    # vliw vs risc code-gen backend: Metrics-identity
+//	                         # gate plus wall-clock per workload
 //	cmsbench -workload NAME  # workload for flow/chain (default win98_boot)
 //	cmsbench -list           # list the benchmark suite
 //	cmsbench -json FILE      # write a wall-clock perf record (BENCH_*.json)
@@ -80,7 +82,7 @@ func parseLevels(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults, farm, farmscale, snapshot")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, table1, selfcheck, selfreval, flow, chain, ablate, hostgen, faults, farm, farmscale, snapshot, backend")
 	wl := flag.String("workload", "win98_boot", "workload for the flow/chain experiments")
 	list := flag.Bool("list", false, "list the benchmark suite and exit")
 	jsonPath := flag.String("json", "", "measure wall-clock perf over the hot kernels and write a JSON record to this file")
@@ -354,6 +356,14 @@ func main() {
 			return err
 		}
 		bench.WriteSnapshot(os.Stdout, rows)
+		return nil
+	})
+	run("backend", func() error {
+		rows, err := bench.BackendDiff(*runs)
+		if err != nil {
+			return err
+		}
+		bench.WriteBackend(os.Stdout, rows)
 		return nil
 	})
 	run("farmscale", func() error {

@@ -1,7 +1,10 @@
 // Command cmsfuzz drives the generative guest fuzzer: it sweeps seeds
-// through the differential oracle (internal/fuzzer), shrinks any divergence
-// to a minimal reproducer, and writes it to the corpus directory. It also
-// replays reproducer files and archives individual seeds.
+// through the differential oracle (internal/fuzzer) — interpreter, xlate,
+// compiled, the risc register-IR backend, pipelined, shared-store, and
+// snapshot legs, plus fault-injected variants under -inject — shrinks any
+// divergence to a minimal reproducer, and writes it to the corpus
+// directory. It also replays reproducer files and archives individual
+// seeds.
 //
 // -replay accepts two file formats, distinguished by content: the fuzzer's
 // text reproducers (seed + shrink edits), and the farm's JSON incident

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cms/internal/cms"
+	"cms/internal/workload"
+)
+
+// BackendRow compares one workload across the two code-gen backends: the
+// closure-threaded vliw compiler and the risc register IR with lazy EFLAGS.
+// Metrics are identical by contract (both are pure wall-clock optimizations
+// over the same translations), so the row carries one molecule count and
+// the two wall-clock times.
+type BackendRow struct {
+	Name   string
+	Kind   workload.Kind
+	Mols   uint64
+	VliwNs int64 // best-of-N wall clock, vliw backend
+	RiscNs int64 // best-of-N wall clock, risc backend
+	Ratio  float64
+}
+
+// BackendDiff runs every suite workload under both backends. It is an
+// experiment AND a gate: any Metrics or cache-statistics divergence between
+// the backends is an error, not a data point — that is the equivalence
+// contract the differential oracle's ninth leg enforces seed by seed, here
+// re-checked on the real workload suite. Timing is best-of-runs.
+func BackendDiff(runs int) ([]BackendRow, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	riscCfg := cms.DefaultConfig()
+	riscCfg.Backend = "risc"
+
+	var rows []BackendRow
+	for _, w := range workload.All() {
+		v, err := Run(w, cms.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		r, err := Run(w, riscCfg)
+		if err != nil {
+			return nil, err
+		}
+		if v.Metrics != r.Metrics {
+			return nil, fmt.Errorf("bench: %s: Metrics diverge between vliw and risc backends", w.Name)
+		}
+		if v.CacheInstalls != r.CacheInstalls || v.CacheInvalidations != r.CacheInvalidations {
+			return nil, fmt.Errorf("bench: %s: cache statistics diverge between vliw and risc backends", w.Name)
+		}
+
+		vns, _, err := timeRuns(w, cms.DefaultConfig(), runs)
+		if err != nil {
+			return nil, err
+		}
+		rns, _, err := timeRuns(w, riscCfg, runs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BackendRow{
+			Name: w.Name, Kind: w.Kind, Mols: v.Mols(),
+			VliwNs: vns, RiscNs: rns,
+			Ratio: float64(rns) / float64(vns),
+		})
+	}
+	return rows, nil
+}
+
+// WriteBackend renders the backend comparison.
+func WriteBackend(w io.Writer, rows []BackendRow) {
+	fmt.Fprintln(w, "Code-gen backend comparison (Metrics proven identical; wall clock best-of-N)")
+	fmt.Fprintf(w, "%-18s %14s %12s %12s %8s\n", "benchmark", "mols", "vliw ms", "risc ms", "risc/vliw")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %14d %12.3f %12.3f %7.2fx\n",
+			r.Name, r.Mols, float64(r.VliwNs)/1e6, float64(r.RiscNs)/1e6, r.Ratio)
+	}
+}

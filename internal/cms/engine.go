@@ -8,6 +8,7 @@ import (
 	"cms/internal/dev"
 	"cms/internal/interp"
 	"cms/internal/ir"
+	"cms/internal/risc"
 	"cms/internal/tcache"
 	"cms/internal/vliw"
 	"cms/internal/xlate"
@@ -109,6 +110,7 @@ func New(plat *dev.Platform, entry uint32, cfg Config) *Engine {
 			Prof:           ip.Prof,
 			Host:           cfg.Host,
 			CompileBackend: cfg.EnableCompiledBackend,
+			Backend:        cfg.Backend,
 		},
 		Cache: c,
 		sites: make(map[uint32]*site),
@@ -417,11 +419,14 @@ func (e *Engine) texecLoop(cur *tcache.Entry) {
 		}
 
 		mols0 := e.Machine.Mols
-		// Closure-threaded fast path when the translation was compiled;
-		// the interpreter is the always-correct fallback (and the only
-		// path when EnableCompiledBackend is off).
+		// Backend fast path when the translation carries an executable
+		// form — register-IR or closure-threaded, whichever its request
+		// selected; the interpreter is the always-correct fallback (and
+		// the only path when EnableCompiledBackend is off).
 		var out *vliw.Outcome
-		if cc := cur.T.Compiled; cc != nil {
+		if rc := cur.T.Risc; rc != nil {
+			out = risc.Exec(e.Machine, rc)
+		} else if cc := cur.T.Compiled; cc != nil {
 			// Machine-owned result, read in place — copying the Outcome
 			// struct per execution is measurable on hot chained loops.
 			out = e.Machine.ExecCompiled(cc)

@@ -19,9 +19,10 @@ import (
 // Metrics are compared within equivalence classes, matching the contracts
 // the engine actually makes:
 //
-//   - sync class {xlate, compiled, sharedA, sharedB}: the compiled backend
-//     and the shared store are pure wall-clock optimizations, so the full
-//     Metrics struct and cache statistics are identical.
+//   - sync class {xlate, compiled, risc, sharedA, sharedB}: the compiled
+//     backend, the risc register-IR backend, and the shared store are pure
+//     wall-clock optimizations, so the full Metrics struct and cache
+//     statistics are identical.
 //   - pipelined class {pipe1, pipe2}: installs happen at deterministic due
 //     times independent of worker count, so any worker count >= 1 produces
 //     identical Metrics (but different from synchronous translation, which
@@ -92,6 +93,11 @@ func CheckProgram(p *Program, opts CheckOptions) *Divergence {
 	interp := run("interp", func(c *cms.Config) { c.NoTranslate = true }, nil)
 	xlate := run("xlate", func(c *cms.Config) { c.EnableCompiledBackend = false }, nil)
 	compiled := run("compiled", nil, nil)
+	// Ninth leg: the risc register-IR backend with lazy EFLAGS
+	// materialization. Structurally the furthest configuration from the
+	// interpreter, held to the same contract on both axes.
+	riscBackend := func(c *cms.Config) { c.Backend = "risc" }
+	riscRun := run("risc", riscBackend, nil)
 	pipe1 := run("pipe1", func(c *cms.Config) { c.PipelineWorkers = 1 }, nil)
 	pipe2 := run("pipe2", func(c *cms.Config) { c.PipelineWorkers = 2 }, nil)
 	// A forced-wide shard array: on small hosts NewShared would collapse to
@@ -102,13 +108,17 @@ func CheckProgram(p *Program, opts CheckOptions) *Divergence {
 	sharedA := run("sharedA", shared, nil)
 	sharedB := run("sharedB", shared, nil)
 
-	all := []*State{interp, xlate, compiled, pipe1, pipe2, sharedA, sharedB}
+	all := []*State{interp, xlate, compiled, riscRun, pipe1, pipe2, sharedA, sharedB}
 	var injXlate, snapInj *State
 	if opts.Inject {
 		injXlate = run("inj-xlate", func(c *cms.Config) { c.EnableCompiledBackend = false }, NewSchedule(p.Seed))
 		all = append(all,
 			injXlate,
 			run("inj-compiled", nil, NewSchedule(p.Seed^0xA5A5)),
+			// Injected rollbacks through the risc executor: every fault
+			// class must discard its lazy flag images with the rest of the
+			// speculative state.
+			run("inj-risc", riscBackend, NewSchedule(p.Seed^0x5A5A)),
 			// Injected evictions against the warm sharded store: forced
 			// invalidations make the VM re-request regions the store still
 			// holds, so the hit path runs mid-schedule and must stay
@@ -144,7 +154,13 @@ func CheckProgram(p *Program, opts CheckOptions) *Divergence {
 	snapCold := snapLeg("snap-shared-cold", shared, 2,
 		func(c *cms.Config) { c.SharedStore = tcache.NewSharedShards(0, 4) }, nil, nil)
 	snapPipe := snapLeg("snap-pipe", func(c *cms.Config) { c.PipelineWorkers = 1 }, 3, nil, nil, nil)
-	all = append(all, snapCompiled, snapWarm, snapCold, snapPipe)
+	// Random-boundary snapshot under the risc backend, against the store
+	// the vliw shared legs already warmed: the capture half populates
+	// risc-tagged keys beside the vliw-tagged ones, and the restore half
+	// must rehydrate strictly from its own backend's entries — the
+	// content keys keep the backends apart in a mixed store.
+	snapRisc := snapLeg("snap-risc", func(c *cms.Config) { shared(c); riscBackend(c) }, 5, nil, nil, nil)
+	all = append(all, snapCompiled, snapWarm, snapCold, snapPipe, snapRisc)
 	if opts.Inject {
 		// Fault injection across a checkpoint: the schedule state rides the
 		// snapshot, so the restored run's injections continue exactly where
@@ -165,7 +181,7 @@ func CheckProgram(p *Program, opts CheckOptions) *Divergence {
 			return &Divergence{Seed: p.Seed, Field: "arch", A: interp.Name, B: st.Name, Detail: d}
 		}
 	}
-	for _, st := range []*State{compiled, sharedA, sharedB, snapCompiled, snapWarm, snapCold} {
+	for _, st := range []*State{compiled, riscRun, sharedA, sharedB, snapCompiled, snapWarm, snapCold, snapRisc} {
 		if d := DiffMetrics(xlate, st); d != "" {
 			return &Divergence{Seed: p.Seed, Field: "metrics", A: xlate.Name, B: st.Name, Detail: d}
 		}

@@ -3,24 +3,28 @@ package fuzzer
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cms/internal/guest"
+	"cms/internal/risc"
 )
 
 // oracleSeeds is how many generated programs TestOracle pushes through the
-// full configuration matrix (7 straight runs plus 4 checkpoint/restore
+// full configuration matrix (8 straight runs plus 5 checkpoint/restore
 // legs each). -short trims it for quick edits.
 const oracleSeeds = 500
 
 // TestOracle is the differential oracle over generated programs: every
 // seed's program runs under pure interpretation, synchronous translation
-// with both backends, the pipelined engine at two worker counts, and a
-// shared-store pair, and must produce byte-identical architectural state
-// everywhere plus identical Metrics within each equivalence class. Four
-// checkpoint legs additionally snapshot mid-run at a seed-derived boundary
-// and finish in a restored engine — warm store, cold store, pipelined —
-// and must be indistinguishable from their uninterrupted counterparts.
+// with and without the compiled backend, the risc register-IR backend, the
+// pipelined engine at two worker counts, and a shared-store pair, and must
+// produce byte-identical architectural state everywhere plus identical
+// Metrics within each equivalence class. Five checkpoint legs additionally
+// snapshot mid-run at a seed-derived boundary and finish in a restored
+// engine — warm store, cold store, pipelined, risc against a mixed-backend
+// store — and must be indistinguishable from their uninterrupted
+// counterparts.
 func TestOracle(t *testing.T) {
 	n := uint64(oracleSeeds)
 	if testing.Short() {
@@ -136,6 +140,81 @@ func TestOracleCatchesMutation(t *testing.T) {
 	if !fails(back) {
 		t.Fatal("reloaded reproducer no longer fails")
 	}
+}
+
+// TestOracleCatchesRiscMutation is the mutation test for the ninth leg: a
+// REAL lazy-flags bug — the materializer feeding the wrong carry into
+// ADC/SBB flag images — is planted behind risc.TestWrongCarry, and the
+// oracle must pin it on a risc leg, the shrinker must reduce the failing
+// program to <= 32 body instructions, and the reproducer must survive a
+// write/load round trip (still failing with the hook set, passing without
+// it). Unlike the SBB state-mutation test above, nothing is faked at
+// comparison time: the bug lives in the executor and only programs whose
+// ADC/SBB flag results stay architecturally live can expose it.
+func TestOracleCatchesRiscMutation(t *testing.T) {
+	risc.TestWrongCarry = true
+	defer func() { risc.TestWrongCarry = false }()
+
+	carry := func(p *Program) bool {
+		return containsOp(p, guest.OpADCrr, guest.OpADCri, guest.OpSBBrr, guest.OpSBBri)
+	}
+	fails := func(p *Program) bool {
+		return CheckProgram(p, CheckOptions{}) != nil
+	}
+
+	// Find a seed whose program both uses ADC/SBB and keeps the flag image
+	// live enough for the wrong carry to reach architectural state.
+	var victim *Program
+	var d *Divergence
+	for seed := uint64(1); seed <= 200; seed++ {
+		p := MustBuild(seed, GenConfig{})
+		if !carry(p) {
+			continue
+		}
+		if dd := CheckProgram(p, CheckOptions{}); dd != nil {
+			victim, d = p, dd
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no seed in 200 exposes the wrong-carry materializer; generator weights changed?")
+	}
+	if d.Field != "arch" {
+		t.Fatalf("wrong divergence field %q", d.Field)
+	}
+	if !strings.Contains(d.B, "risc") {
+		t.Fatalf("divergence blames %q, want a risc leg", d.B)
+	}
+
+	small := Shrink(victim, fails, 150)
+	if !fails(small) {
+		t.Fatal("shrunk program no longer fails")
+	}
+	if small.BodyInsns > 32 {
+		t.Fatalf("shrunk reproducer too large: %d body insns (want <= 32)", small.BodyInsns)
+	}
+	t.Logf("shrunk seed %#x: %d -> %d body insns, %d edits",
+		small.Seed, victim.BodyInsns, small.BodyInsns, len(small.Edits))
+
+	path := filepath.Join(t.TempDir(), "repro.txt")
+	if err := WriteReproducer(path, small, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReproducer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fails(back) {
+		t.Fatal("reloaded reproducer no longer fails")
+	}
+
+	// With the hook withdrawn the same program must pass: the divergence
+	// was the planted executor bug, not a latent one.
+	risc.TestWrongCarry = false
+	if dd := CheckProgram(back, CheckOptions{}); dd != nil {
+		t.Fatalf("reproducer fails with the hook off: %v", dd)
+	}
+	risc.TestWrongCarry = true
 }
 
 // TestCorpusReplay regenerates and re-checks every reproducer in

@@ -11,6 +11,15 @@
 //   - VRegs 0..7 are the guest GPRs (live-in and live-out at every exit),
 //   - VReg 8 (VFlags) is the guest EFLAGS image,
 //   - temporaries start at VTemp0 and are dead at exits.
+//
+// The IR and the Region/exit shape are backend-neutral: the same optimized
+// sequence feeds both the vliw scheduler (internal/vliw) and, after atom
+// scheduling, the risc register-IR lowering (internal/risc). In particular
+// the optimizer's dead-flag analysis — which renames flag defs that no exit
+// observes away from VFlags so the scheduler can speculate past them — is
+// exactly the property the risc backend reuses for lazy EFLAGS
+// materialization: a renamed flag def becomes a deferred flag image, and
+// only defs still targeting VFlags force an architectural materialization.
 package ir
 
 import (

@@ -1,0 +1,384 @@
+// The register-IR executor. Exec drives a vliw.Machine through lowered
+// Code with semantics bit-identical to vliw.Exec/ExecCompiled on the same
+// translation: the same interrupt window at every molecule boundary, the
+// same Bus fast paths and fault classes, the same gated-store/alias-table
+// discipline through the vliw backend SPI, and the same Mols/Commits/
+// Rollbacks accounting. The one structural difference is invisible at
+// every architectural boundary: EFLAGS images are not computed when a
+// flag-producing instruction executes. The producer records a flagRec
+// (kind + operands + input image) and marks the destination register lazy;
+// the image is materialized only when a consumer reads it or when a
+// commit/exit makes it observable. Images that die — redefined before any
+// consumer within a speculation window — are never computed at all.
+//
+// Lazy-state lifetime rules (load-bearing for equivalence):
+//
+//   - materializeAll runs before EVERY commit and EVERY exit return, even
+//     uncommitted exits: chained translations and the engine's exit
+//     handling read working registers, which must match vliw bit for bit.
+//   - On faults and interrupt-window hits the pending set is DROPPED, not
+//     materialized: the rollback inside fault/IRQWindow has already
+//     restored the shadowed registers, and writing materialized images
+//     after it would corrupt them. Stale temporaries left behind are the
+//     same tolerated divergence vliw.Compile's immediate-write temps have
+//     at faults — nothing carries them across a committed boundary.
+package risc
+
+import (
+	"math/bits"
+
+	"cms/internal/guest"
+	"cms/internal/mem"
+	"cms/internal/vliw"
+)
+
+// TestWrongCarry is a test-only hook: when set, the lazy materializer
+// flips the carry-in of ADC/SBB flag images (the eager data results stay
+// correct). TestOracleCatchesRiscMutation plants this bug to prove the
+// ninth differential-oracle leg detects a wrong-carry materializer and
+// that the shrinker reduces the reproducer. Never set outside tests.
+var TestWrongCarry bool
+
+// flagRec is a pending EFLAGS computation: enough to reconstruct the exact
+// image the vliw backend would have produced at definition time. The input
+// image is captured at definition (it is needed eagerly anyway for the
+// ADC/SBB data results), so laziness elides exactly the flag arithmetic.
+type flagRec struct {
+	kind Kind
+	a, b uint32
+	in   uint32
+}
+
+// execState is the per-Exec lazy-flags overlay on the machine's register
+// file: bit r of lazy set means Regs[r] is stale and recs[r] holds the
+// pending computation. It lives on Exec's stack and never escapes.
+type execState struct {
+	m    *vliw.Machine
+	lazy uint64
+	recs [vliw.NumHRegs]flagRec
+}
+
+// val reads a register, materializing it first if a flag image is pending.
+func (st *execState) val(r vliw.HReg) uint32 {
+	if st.lazy&(1<<r) != 0 {
+		st.materialize(r)
+	}
+	return st.m.Regs[r]
+}
+
+// put writes a register, cancelling any pending image (the redefinition is
+// what makes dead flag computations free).
+func (st *execState) put(r vliw.HReg, v uint32) {
+	st.lazy &^= 1 << r
+	st.m.Regs[r] = v
+}
+
+// setLazy records a pending flag image for r.
+func (st *execState) setLazy(r vliw.HReg, rec flagRec) {
+	st.recs[r] = rec
+	st.lazy |= 1 << r
+}
+
+// image presents the flag input a consumer of fs sees: the (possibly
+// renamed) arithmetic bits with IF always taken from architectural RFlags,
+// exactly as vliw's execAtom/flagImage do.
+func (st *execState) image(fs vliw.HReg) uint32 {
+	if fs == vliw.RFlags {
+		return st.val(vliw.RFlags)
+	}
+	return st.val(fs)&^guest.FlagIF | st.val(vliw.RFlags)&guest.FlagIF
+}
+
+// materialize computes the pending EFLAGS image for r through the same
+// guest flag helpers the vliw backend uses, guaranteeing bit identity.
+func (st *execState) materialize(r vliw.HReg) {
+	st.lazy &^= 1 << r
+	rec := &st.recs[r]
+	in := rec.in
+	var f uint32
+	switch rec.kind {
+	case KFAdd:
+		_, f = guest.FlagsAdd(in, rec.a, rec.b)
+	case KFSub:
+		_, f = guest.FlagsSub(in, rec.a, rec.b)
+	case KFAdc:
+		if TestWrongCarry {
+			in ^= guest.FlagCF
+		}
+		_, f = guest.FlagsAdc(in, rec.a, rec.b)
+	case KFSbb:
+		if TestWrongCarry {
+			in ^= guest.FlagCF
+		}
+		_, f = guest.FlagsSbb(in, rec.a, rec.b)
+	case KFInc:
+		_, f = guest.FlagsInc(in, rec.a)
+	case KFDec:
+		_, f = guest.FlagsDec(in, rec.a)
+	case KFNeg:
+		_, f = guest.FlagsNeg(in, rec.a)
+	case KFAnd:
+		f = guest.FlagsLogic(in, rec.a&rec.b)
+	case KFOr:
+		f = guest.FlagsLogic(in, rec.a|rec.b)
+	case KFXor:
+		f = guest.FlagsLogic(in, rec.a^rec.b)
+	case KFShl:
+		_, f = guest.FlagsShl(in, rec.a, rec.b)
+	case KFShr:
+		_, f = guest.FlagsShr(in, rec.a, rec.b)
+	case KFSar:
+		_, f = guest.FlagsSar(in, rec.a, rec.b)
+	case KFImul:
+		_, f = guest.FlagsImul(in, rec.a, rec.b)
+	case KFMul64:
+		_, _, f = guest.FlagsMul(in, rec.a, rec.b)
+	}
+	st.m.Regs[r] = f
+}
+
+// materializeAll flushes every pending image — required before any commit
+// or exit, where working registers become architecturally observable.
+func (st *execState) materializeAll() {
+	for lz := st.lazy; lz != 0; lz &= lz - 1 {
+		st.materialize(vliw.HReg(bits.TrailingZeros64(lz)))
+	}
+}
+
+// Exec runs lowered code from its first block until an exit or fault,
+// exactly as ExecCompiled runs compiled code. The returned Outcome is
+// machine-owned and valid until the machine's next execution.
+func Exec(m *vliw.Machine, code *Code) *vliw.Outcome {
+	st := execState{m: m}
+	blocks := code.Blocks
+	pc := int32(0)
+	m.ResetOutcome()
+	for {
+		// Interrupt window at molecule boundaries (§3.3); the rollback
+		// inside discards speculative state, so pending images are simply
+		// dropped with the rest of the stack frame.
+		if out := m.IRQWindow(); out != nil {
+			return out
+		}
+		if uint32(pc) >= uint32(len(blocks)) {
+			return m.BadPC(pc)
+		}
+		m.Mols++
+		next := pc + 1
+		insns := blocks[pc].Insns
+	block:
+		for i := range insns {
+			in := &insns[i]
+			switch in.Op {
+			case INop:
+
+			case ILi:
+				st.put(in.Rd, in.Imm)
+			case IMov:
+				st.put(in.Rd, st.val(in.Ra))
+
+			case IAlu:
+				a := st.val(in.Ra)
+				b := in.Imm
+				if !in.BI {
+					b = st.val(in.Rb)
+				}
+				var res uint32
+				switch in.Kind {
+				case KAdd:
+					res = a + b
+				case KSub:
+					res = a - b
+				case KAnd:
+					res = a & b
+				case KOr:
+					res = a | b
+				case KXor:
+					res = a ^ b
+				case KShl:
+					res = a << (b & 31)
+				case KShr:
+					res = a >> (b & 31)
+				case KSar:
+					res = uint32(int32(a) >> (b & 31))
+				}
+				st.put(in.Rd, res)
+
+			case IAluF:
+				a := st.val(in.Ra)
+				b := in.Imm
+				if !in.BI {
+					b = st.val(in.Rb)
+				}
+				img := st.image(in.Fs)
+				var res uint32
+				switch in.Kind {
+				case KFAdd:
+					res = a + b
+				case KFSub:
+					res = a - b
+				case KFAdc:
+					res = uint32(uint64(a) + uint64(b) + uint64(img&guest.FlagCF))
+				case KFSbb:
+					res = uint32(uint64(a) - uint64(b) - uint64(img&guest.FlagCF))
+				case KFInc:
+					res = a + 1
+				case KFDec:
+					res = a - 1
+				case KFNeg:
+					res = -a
+				case KFAnd:
+					res = a & b
+				case KFOr:
+					res = a | b
+				case KFXor:
+					res = a ^ b
+				case KFShl:
+					res = a << (b & 31)
+				case KFShr:
+					res = a >> (b & 31)
+				case KFSar:
+					res = uint32(int32(a) >> (b & 31))
+				case KFImul:
+					res = a * b
+				case KFMul64:
+					hi, lo := bits.Mul32(a, b)
+					st.put(in.Rd, lo)
+					st.put(in.Rd2, hi)
+					st.setLazy(in.Fd, flagRec{kind: in.Kind, a: a, b: b, in: img})
+					continue
+				}
+				st.put(in.Rd, res)
+				st.setLazy(in.Fd, flagRec{kind: in.Kind, a: a, b: b, in: img})
+
+			case IDivU, IDivS:
+				div := guest.DivU
+				if in.Op == IDivS {
+					div = guest.DivS
+				}
+				q, rem, ok := div(st.val(in.Rc), st.val(in.Ra), st.val(in.Rb))
+				if !ok {
+					return m.FaultOutcome(vliw.FGuest, int(in.GIdx), 0, guest.VecDE)
+				}
+				st.put(in.Rd, q)
+				st.put(in.Rd2, rem)
+
+			case ISet:
+				v := uint32(0)
+				if in.Cond.Eval(st.image(in.Fs)) {
+					v = 1
+				}
+				st.put(in.Rd, v)
+
+			case ILd:
+				addr := st.val(in.Ra) + in.Imm
+				// Single present non-MMIO page: the value comes from RAM
+				// through the store buffer, skipping the page walks.
+				if m.Bus.FastRead(addr, uint32(in.Size)) {
+					st.put(in.Rd, m.GatedLoad(addr, in.Size))
+					if in.ProtIdx != vliw.NoAliasIdx {
+						m.RecordAlias(in.ProtIdx, addr, in.Size)
+					}
+					continue
+				}
+				if gf := m.Bus.CheckRead(addr, int(in.Size)); gf != nil {
+					return m.FaultOutcome(vliw.FGuest, int(in.GIdx), addr, gf.Vector)
+				}
+				if m.Bus.IsMMIO(addr) {
+					if in.Reordered {
+						return m.FaultOutcome(vliw.FMMIOSpec, int(in.GIdx), addr, 0)
+					}
+					if m.PendingGatedIO() {
+						return m.FaultOutcome(vliw.FMMIOOrder, int(in.GIdx), addr, 0)
+					}
+					if in.Size == 1 {
+						st.put(in.Rd, uint32(m.Bus.Read8(addr)))
+					} else {
+						st.put(in.Rd, m.Bus.Read32(addr))
+					}
+				} else {
+					st.put(in.Rd, m.GatedLoad(addr, in.Size))
+				}
+				if in.ProtIdx != vliw.NoAliasIdx {
+					m.RecordAlias(in.ProtIdx, addr, in.Size)
+				}
+
+			case ISt:
+				addr := st.val(in.Ra) + in.Imm
+				val := st.val(in.Rb)
+				// Single present writable non-MMIO unprotected page.
+				if m.Bus.FastWrite(addr, uint32(in.Size)) {
+					if in.CheckMask != 0 && m.AliasConflict(in.CheckMask, addr, in.Size) {
+						return m.FaultOutcome(vliw.FAlias, int(in.GIdx), addr, 0)
+					}
+					m.GatedStore(addr, val, in.Size, false)
+					continue
+				}
+				if gf := m.Bus.CheckWrite(addr, int(in.Size)); gf != nil {
+					return m.FaultOutcome(vliw.FGuest, int(in.GIdx), addr, gf.Vector)
+				}
+				isMMIO := m.Bus.IsMMIO(addr)
+				if isMMIO && in.Reordered {
+					return m.FaultOutcome(vliw.FMMIOSpec, int(in.GIdx), addr, 0)
+				}
+				if !isMMIO {
+					if hit := m.Bus.CheckProt(addr, int(in.Size), mem.SrcCPU); hit != nil {
+						return m.FaultOutcome(vliw.FProt, int(in.GIdx), addr, 0)
+					}
+				}
+				if in.CheckMask != 0 && m.AliasConflict(in.CheckMask, addr, in.Size) {
+					return m.FaultOutcome(vliw.FAlias, int(in.GIdx), addr, 0)
+				}
+				m.GatedStore(addr, val, in.Size, isMMIO)
+
+			case IIn:
+				if m.PendingGatedIO() {
+					return m.FaultOutcome(vliw.FMMIOOrder, int(in.GIdx), 0, 0)
+				}
+				st.put(in.Rd, m.Bus.PortRead(uint16(in.Imm)))
+			case IOut:
+				m.GatedOut(in.Imm, st.val(in.Rb))
+
+			case ICommit:
+				st.materializeAll()
+				m.Commit()
+				m.CommittedEIP = in.Imm
+
+			case IBr:
+				next = in.Target
+			case IBcc:
+				if in.Cond.Eval(st.image(in.Fs)) {
+					next = in.Target
+				}
+			case IBnz:
+				if st.val(in.Ra) != 0 {
+					next = in.Target
+				}
+
+			case IExit:
+				st.materializeAll()
+				if in.Commit {
+					m.Commit()
+				}
+				return m.ExitOutcome(int(in.Imm), 0, false)
+			case IExitInd:
+				target := st.val(in.Ra) // read before commit, like Exec's atom pass
+				st.materializeAll()
+				if in.Commit {
+					m.Commit()
+				}
+				return m.ExitOutcome(int(in.Imm), target, true)
+
+			case IExact:
+				st.materializeAll()
+				nx, out := m.ExecMoleculeExact(in.Mol, next)
+				if out != nil {
+					return out
+				}
+				next = nx
+				break block
+			}
+		}
+		pc = next
+	}
+}

@@ -611,18 +611,23 @@ func compileAtom(a *Atom) atomFn {
 			logic = func(x, y uint32) uint32 { return x ^ y }
 		}
 		immForm := a.Op == AAndICC || a.Op == AOrICC || a.Op == AXorICC
+		// The flag image must be read before the result write: when rd is
+		// RFlags itself, writing first would feed the result into the IF
+		// merge (atoms read all sources before any write).
 		if immForm {
 			return func(m *Machine) *Outcome {
 				res := logic(m.Regs[ra], imm)
+				f := guest.FlagsLogic(flagImage(m, fs, renamed), res)
 				m.Regs[rd] = res
-				m.Regs[fd] = guest.FlagsLogic(flagImage(m, fs, renamed), res)
+				m.Regs[fd] = f
 				return nil
 			}
 		}
 		return func(m *Machine) *Outcome {
 			res := logic(m.Regs[ra], m.Regs[rb])
+			f := guest.FlagsLogic(flagImage(m, fs, renamed), res)
 			m.Regs[rd] = res
-			m.Regs[fd] = guest.FlagsLogic(flagImage(m, fs, renamed), res)
+			m.Regs[fd] = f
 			return nil
 		}
 

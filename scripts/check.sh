@@ -24,8 +24,10 @@ go test -race ./...
 go test -race -run 'TestBackendDifferential' -count=1 ./internal/bench/
 
 # The farm differential test is the serving subsystem's correctness
-# contract (solo and in-farm runs byte-identical over the shared store);
-# run the package by name, under -race, so cross-VM sharing bugs fail here.
+# contract (solo and in-farm runs byte-identical over the shared store,
+# including mixed vliw/risc farms whose backend-tagged keys must stay
+# disjoint); run the package by name, under -race, so cross-VM sharing
+# bugs fail here.
 # tcache rides along for the sharded-store torture test: shard regressions
 # (single-flight, per-shard budgets, stats folding) must not land quietly.
 go test -race -count=1 ./internal/farm/... ./internal/tcache/...
@@ -36,6 +38,12 @@ go test -race -count=1 ./internal/farm/... ./internal/tcache/...
 # the healthy jobs. Run by name so the capstone cannot be renamed away.
 go test -race -count=1 -run 'TestChaosServing' ./internal/farm/
 
+# Backend equivalence over the real workload suite: cmsbench -exp backend
+# hard-fails if Metrics or cache statistics diverge between the vliw and
+# risc backends on ANY workload — the ninth oracle leg's contract, re-run
+# on full boots and apps instead of generated programs.
+go run ./cmd/cmsbench -exp backend -runs 1
+
 # Multicore farm smoke: a short sustained-load sweep through the farmscale
 # harness at 1 and 4 VMs (GOMAXPROCS pinned per level). On a single-core
 # host this prints the loud effective-parallelism warning and still checks
@@ -43,14 +51,19 @@ go test -race -count=1 -run 'TestChaosServing' ./internal/farm/
 go run ./cmd/cmsbench -exp farmscale -farmvms 1,4 -farmjobs 24
 
 # Generative fuzzer smoke: sweep 64 seeds through the full differential
-# oracle (7 engine configurations per seed). A divergence writes a shrunk
-# reproducer to internal/fuzzer/testdata/corpus/ and fails the gate.
+# oracle — nine straight legs per seed (interp, xlate, compiled, the risc
+# register-IR backend, two pipeline widths, two shared-store runs, plus the
+# random-boundary snapshot legs). A divergence writes a shrunk reproducer
+# to internal/fuzzer/testdata/corpus/ and fails the gate.
 go run ./cmd/cmsfuzz -seeds 64
 
 # Native fuzz targets, a short session each: the ISA codec canonicality
-# property and the bus fast-path/checked-path agreement property.
+# property, the bus fast-path/checked-path agreement property, and the
+# three-executor (interpreted / compiled / risc-lowered) equivalence of
+# synthesized atom codes.
 go test -run '^$' -fuzz FuzzDecodeEncodeRoundtrip -fuzztime 5s ./internal/guest/
 go test -run '^$' -fuzz FuzzBusReadWrite -fuzztime 5s ./internal/mem/
+go test -run '^$' -fuzz FuzzRiscLowerRoundtrip -fuzztime 5s ./internal/risc/
 
 # Coverage floors for the engine and translator, set just under the value
 # measured when the gate was introduced (cms 82.0%, xlate 84.5%): new code
@@ -69,6 +82,10 @@ cover_gate() {
 }
 cover_gate ./internal/cms/ 78.0
 cover_gate ./internal/xlate/ 80.0
+# The risc backend is held to a higher floor: it is a from-scratch second
+# executor whose only consumer protection is its tests (94%+ measured when
+# the gate was introduced).
+cover_gate ./internal/risc/ 80.0
 
 # cmsserve smoke: start the daemon with incident capture armed, drive one
 # healthy workload job plus one chaos-panic job over HTTP (the servesmoke
